@@ -1,0 +1,169 @@
+package confio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"confio/internal/compartment"
+	"confio/internal/platform"
+	"confio/internal/safering"
+	"confio/internal/stio"
+)
+
+// --- §3.3 storage designs: one bench per design point ---
+
+func benchStorage(b *testing.B, id stio.DesignID) {
+	w, err := stio.NewWorld(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	params := platform.DefaultCostParams()
+	const recordSize = 512
+
+	before := w.Costs()
+	b.SetBytes(2 * recordSize) // each iteration writes and reads one record
+	b.ResetTimer()
+	iter := 0
+	for iter < b.N {
+		// Batch in files of up to 16 records to bound file count.
+		recs := b.N - iter
+		if recs > 16 {
+			recs = 16
+		}
+		if _, err := w.RunFiles(1, recs, recordSize); err != nil {
+			b.Fatal(err)
+		}
+		iter += recs
+	}
+	b.StopTimer()
+	model := w.Costs().Sub(before).ModelNanos(params) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkStorage_HostFiles(b *testing.B)   { benchStorage(b, stio.HostFiles) }
+func BenchmarkStorage_BlockRing(b *testing.B)   { benchStorage(b, stio.BlockRing) }
+func BenchmarkStorage_DualStorage(b *testing.B) { benchStorage(b, stio.DualStorage) }
+
+// --- §3.2 principle ablations on the safe ring ---
+
+// benchRingAblation measures a TX round with and without notifications
+// (principle 3: "do not contribute to performance under polling").
+func benchRingAblation(b *testing.B, notify bool) {
+	cfg := safering.DefaultConfig()
+	cfg.Notify = notify
+	var m platform.Meter
+	ep, err := safering.New(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	payload := make([]byte, 1400)
+	buf := make([]byte, cfg.FrameCap())
+	before := m.Snapshot()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if notify {
+			ep.Shared().TXBell.TryWait()
+		}
+		if _, err := hp.Pop(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkAblation_SafeRing_Polling(b *testing.B)   { benchRingAblation(b, false) }
+func BenchmarkAblation_SafeRing_Doorbells(b *testing.B) { benchRingAblation(b, true) }
+
+// BenchmarkAblation_RingGeometry sweeps slot counts to show the ring
+// size is a capacity knob, not a safety one.
+func BenchmarkAblation_RingGeometry(b *testing.B) {
+	for _, slots := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("slots%d", slots), func(b *testing.B) {
+			cfg := safering.DefaultConfig()
+			cfg.Slots = slots
+			ep, err := safering.New(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hp := safering.NewHostPort(ep.Shared())
+			payload := make([]byte, 1400)
+			buf := make([]byte, cfg.FrameCap())
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ep.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hp.Pop(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §3.2 "zero-copy send on the confidential side" exploration ---
+//
+// The single-distrust relationship lets the app compose messages directly
+// in the I/O domain's arena (trusted-component-allocates: one copy total).
+// The alternative — a mutually-distrusting gate that copies app buffers
+// inward — pays a second copy. Both are metered.
+
+func benchL5Send(b *testing.B, trustedAlloc bool) {
+	var m platform.Meter
+	app := compartment.NewDomain("app", &m)
+	io := compartment.NewDomain("io", &m)
+	g := compartment.NewGate(app, io, &m)
+	payload := make([]byte, 1400)
+	sink := func(p []byte) error { return nil }
+
+	before := m.Snapshot()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trustedAlloc {
+			// App writes straight into the I/O arena: one copy.
+			buf := g.AllocTx(len(payload))
+			if err := g.FillTx(buf, payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := g.SubmitTx(buf, sink); err != nil {
+				b.Fatal(err)
+			}
+			buf.Free()
+		} else {
+			// Dual-distrust gate: app buffer copied inward, then submitted.
+			appBuf := app.Alloc(len(payload))
+			data, err := appBuf.Access(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			copy(data, payload)
+			m.Copy(len(payload)) // app -> private staging
+			ioBuf := g.AllocTx(len(payload))
+			if err := g.FillTx(ioBuf, data); err != nil {
+				b.Fatal(err)
+			}
+			m.Copy(len(payload)) // staging -> io arena
+			if err := g.SubmitTx(ioBuf, sink); err != nil {
+				b.Fatal(err)
+			}
+			ioBuf.Free()
+			appBuf.Free()
+		}
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkAblation_L5Send_TrustedAlloc(b *testing.B) { benchL5Send(b, true) }
+func BenchmarkAblation_L5Send_CopyAtGate(b *testing.B)   { benchL5Send(b, false) }

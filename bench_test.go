@@ -1,0 +1,380 @@
+package confio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"confio/internal/attack"
+	"confio/internal/compartment"
+	"confio/internal/core"
+	"confio/internal/fighist"
+	"confio/internal/netvsc"
+	"confio/internal/platform"
+	"confio/internal/safering"
+	"confio/internal/virtio"
+)
+
+// The benchmarks below regenerate the data behind every figure in the
+// paper (see EXPERIMENTS.md for the index). Wall-clock ns/op measures
+// the simulation; the "model-ns/op" metric weights the counted boundary
+// events (TEE crossings, copies, crypto, notifications, page ops) with
+// the platform calibration — that is the number whose *shape* should
+// match the paper's testbed, and the one the analysis quotes.
+
+// --- Figures 2-4: the empirical pipeline ---
+
+func BenchmarkFig2Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := fighist.Trend(fighist.NetCVEs)
+		if st.Total == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFig3Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := fighist.Aggregate(fighist.NetvscCommits, "netvsc", false)
+		if d.Total() == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+func BenchmarkFig4Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := fighist.Aggregate(fighist.VirtioCommits, "virtio", false)
+		if d.Total() == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+// --- Figure 5: performance axis, one bench per design ---
+
+func benchFig5Echo(b *testing.B, id core.DesignID) {
+	w, err := core.NewWorld(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	params := platform.DefaultCostParams()
+
+	// One warmup exchange to establish connections and ARP.
+	if _, err := w.RunEcho(1, 256); err != nil {
+		b.Fatal(err)
+	}
+	before := w.Costs()
+	b.ResetTimer()
+	if _, err := w.RunEcho(b.N, 256); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	model := w.Costs().Sub(before).ModelNanos(params) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkFig5_Echo_HostSocket(b *testing.B)   { benchFig5Echo(b, core.HostSocket) }
+func BenchmarkFig5_Echo_L2Virtio(b *testing.B)     { benchFig5Echo(b, core.L2Virtio) }
+func BenchmarkFig5_Echo_L2VirtioHard(b *testing.B) { benchFig5Echo(b, core.L2VirtioHardened) }
+func BenchmarkFig5_Echo_L2Netvsc(b *testing.B)     { benchFig5Echo(b, core.L2Netvsc) }
+func BenchmarkFig5_Echo_L2NetvscHard(b *testing.B) { benchFig5Echo(b, core.L2NetvscHardened) }
+func BenchmarkFig5_Echo_L2SafeRing(b *testing.B)   { benchFig5Echo(b, core.L2SafeRing) }
+func BenchmarkFig5_Echo_Tunnel(b *testing.B)       { benchFig5Echo(b, core.Tunnel) }
+func BenchmarkFig5_Echo_DualBoundary(b *testing.B) { benchFig5Echo(b, core.DualBoundary) }
+func BenchmarkFig5_Echo_DirectDevice(b *testing.B) { benchFig5Echo(b, core.DirectDevice) }
+
+func benchFig5Bulk(b *testing.B, id core.DesignID) {
+	w, err := core.NewWorld(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	params := platform.DefaultCostParams()
+	const chunk = 32 << 10
+
+	before := w.Costs()
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	if _, err := w.RunBulk(int64(b.N)*chunk, chunk); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	model := w.Costs().Sub(before).ModelNanos(params) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkFig5_Bulk_HostSocket(b *testing.B)   { benchFig5Bulk(b, core.HostSocket) }
+func BenchmarkFig5_Bulk_L2Virtio(b *testing.B)     { benchFig5Bulk(b, core.L2Virtio) }
+func BenchmarkFig5_Bulk_L2VirtioHard(b *testing.B) { benchFig5Bulk(b, core.L2VirtioHardened) }
+func BenchmarkFig5_Bulk_L2Netvsc(b *testing.B)     { benchFig5Bulk(b, core.L2Netvsc) }
+func BenchmarkFig5_Bulk_L2NetvscHard(b *testing.B) { benchFig5Bulk(b, core.L2NetvscHardened) }
+func BenchmarkFig5_Bulk_L2SafeRing(b *testing.B)   { benchFig5Bulk(b, core.L2SafeRing) }
+func BenchmarkFig5_Bulk_Tunnel(b *testing.B)       { benchFig5Bulk(b, core.Tunnel) }
+func BenchmarkFig5_Bulk_DualBoundary(b *testing.B) { benchFig5Bulk(b, core.DualBoundary) }
+func BenchmarkFig5_Bulk_DirectDevice(b *testing.B) { benchFig5Bulk(b, core.DirectDevice) }
+
+// --- §2.5: what each retrofit costs (transport-level, no stack) ---
+
+func benchVirtioTxRx(b *testing.B, h virtio.Hardening) {
+	cfg := virtio.DefaultConfig()
+	cfg.Hardening = h
+	var m platform.Meter
+	d, dv, err := virtio.NewPair(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, cfg.BufSize)
+	payload := make([]byte, 1400)
+	before := m.Snapshot()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dv.Pop(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := dv.Push(payload); err != nil {
+			b.Fatal(err)
+		}
+		f, err := d.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkHardeningCost_Virtio_None(b *testing.B) { benchVirtioTxRx(b, virtio.NoHardening()) }
+func BenchmarkHardeningCost_Virtio_Checks(b *testing.B) {
+	benchVirtioTxRx(b, virtio.Hardening{Checks: true})
+}
+func BenchmarkHardeningCost_Virtio_Copies(b *testing.B) {
+	benchVirtioTxRx(b, virtio.Hardening{Copies: true})
+}
+func BenchmarkHardeningCost_Virtio_MemInit(b *testing.B) {
+	benchVirtioTxRx(b, virtio.Hardening{MemInit: true})
+}
+func BenchmarkHardeningCost_Virtio_Restrict(b *testing.B) {
+	benchVirtioTxRx(b, virtio.Hardening{RestrictFeatures: true})
+}
+func BenchmarkHardeningCost_Virtio_Full(b *testing.B) { benchVirtioTxRx(b, virtio.FullHardening()) }
+
+func benchNetvscTxRx(b *testing.B, h netvsc.Hardening) {
+	cfg := netvsc.DefaultConfig()
+	cfg.Hardening = h
+	var m platform.Meter
+	d, host, err := netvsc.New(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	payload := make([]byte, 1400)
+	before := m.Snapshot()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.Pop(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := host.Push(payload); err != nil {
+			b.Fatal(err)
+		}
+		// Drain the completion and the data frame.
+		f, err := d.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkHardeningCost_Netvsc_None(b *testing.B) { benchNetvscTxRx(b, netvsc.Hardening{}) }
+func BenchmarkHardeningCost_Netvsc_Copies(b *testing.B) {
+	benchNetvscTxRx(b, netvsc.Hardening{Copies: true})
+}
+func BenchmarkHardeningCost_Netvsc_Full(b *testing.B) { benchNetvscTxRx(b, netvsc.FullHardening()) }
+
+// --- §3.2 data positioning exploration ---
+
+func benchDataPositioning(b *testing.B, mode safering.DataMode, size int) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = mode
+	if mode != safering.Inline {
+		cfg.SlotSize = 64
+	}
+	var m platform.Meter
+	ep, err := safering.New(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	payload := make([]byte, size)
+	buf := make([]byte, cfg.FrameCap())
+	before := m.Snapshot()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hp.Pop(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkDataPositioning_Inline_64(b *testing.B) {
+	benchDataPositioning(b, safering.Inline, 64)
+}
+func BenchmarkDataPositioning_Inline_1500(b *testing.B) {
+	benchDataPositioning(b, safering.Inline, 1500)
+}
+func BenchmarkDataPositioning_SharedArea_64(b *testing.B) {
+	benchDataPositioning(b, safering.SharedArea, 64)
+}
+func BenchmarkDataPositioning_SharedArea_1500(b *testing.B) {
+	benchDataPositioning(b, safering.SharedArea, 1500)
+}
+func BenchmarkDataPositioning_Indirect_64(b *testing.B) {
+	benchDataPositioning(b, safering.Indirect, 64)
+}
+func BenchmarkDataPositioning_Indirect_1500(b *testing.B) {
+	benchDataPositioning(b, safering.Indirect, 1500)
+}
+
+// --- §3.2 revocation vs copy exploration ---
+
+func benchRxPolicy(b *testing.B, rx safering.RXPolicy, size int) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = safering.SharedArea
+	cfg.SlotSize = 64
+	cfg.RX = rx
+	var m platform.Meter
+	ep, err := safering.New(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	payload := make([]byte, size)
+	before := m.Snapshot()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hp.Push(payload); err != nil {
+			b.Fatal(err)
+		}
+		f, err := ep.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+	b.StopTimer()
+	model := m.Snapshot().Sub(before).ModelNanos(platform.DefaultCostParams()) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}
+
+func BenchmarkRevocationVsCopy_Copy_64(b *testing.B)     { benchRxPolicy(b, safering.CopyOut, 64) }
+func BenchmarkRevocationVsCopy_Copy_1500(b *testing.B)   { benchRxPolicy(b, safering.CopyOut, 1500) }
+func BenchmarkRevocationVsCopy_Revoke_64(b *testing.B)   { benchRxPolicy(b, safering.Revoke, 64) }
+func BenchmarkRevocationVsCopy_Revoke_1500(b *testing.B) { benchRxPolicy(b, safering.Revoke, 1500) }
+
+// BenchmarkRevocationCrossover sweeps the modelled revocation cost to
+// locate where un-sharing beats copying (the "when does this become
+// faster than copies" question of §3.2).
+func BenchmarkRevocationCrossover(b *testing.B) {
+	for _, revokeNs := range []float64{500, 1000, 2500, 5000} {
+		for _, size := range []int{256, 1500, 4000} {
+			name := fmt.Sprintf("revoke%.0fns/size%d", revokeNs, size)
+			b.Run(name, func(b *testing.B) {
+				params := platform.DefaultCostParams()
+				params.RevokeNs = revokeNs
+				copyCost := platform.Costs{BytesCopied: uint64(size)}.ModelNanos(params)
+				revokeCost := platform.Costs{PagesRevoked: 1, PagesShared: 1}.ModelNanos(params)
+				b.ReportMetric(copyCost, "copy-ns")
+				b.ReportMetric(revokeCost, "revoke-ns")
+				for i := 0; i < b.N; i++ {
+					_ = copyCost - revokeCost
+				}
+			})
+		}
+	}
+}
+
+// --- §3.1 boundary cost microbenchmarks ---
+
+func BenchmarkBoundaryCosts_GateCrossing(b *testing.B) {
+	var m platform.Meter
+	app := compartment.NewDomain("app", &m)
+	io := compartment.NewDomain("io", &m)
+	g := compartment.NewGate(app, io, &m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Call(func(*compartment.Domain) error { return nil })
+	}
+	b.StopTimer()
+	b.ReportMetric(2*platform.DefaultCostParams().GateCrossNs, "model-ns/op")
+}
+
+func BenchmarkBoundaryCosts_TEECrossing(b *testing.B) {
+	var m platform.Meter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CrossTEE(2)
+	}
+	b.StopTimer()
+	b.ReportMetric(2*platform.DefaultCostParams().TEECrossNs, "model-ns/op")
+}
+
+// --- §3.2 interface-safety suite as a bench (attack cost) ---
+
+func BenchmarkAttackSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := attack.RunAll()
+		if len(results) == 0 {
+			b.Fatal("empty suite")
+		}
+	}
+}
+
+// BenchmarkMixWorkload runs the middlebox-flavoured size mix through the
+// dual-boundary design (the intro's motivating traffic shape).
+func BenchmarkMixWorkload_DualBoundary(b *testing.B) {
+	w, err := core.NewWorld(core.DualBoundary)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	params := platform.DefaultCostParams()
+	before := w.Costs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > 64 {
+			n = 64
+		}
+		if _, err := w.RunMix(n); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+	b.StopTimer()
+	model := w.Costs().Sub(before).ModelNanos(params) / float64(b.N)
+	b.ReportMetric(model, "model-ns/op")
+}

@@ -1,0 +1,48 @@
+// Command cioattack runs the interface-vulnerability suite against every
+// transport and prints the resilience matrix (the §3.2 safety claims,
+// verified by execution).
+//
+// Usage:
+//
+//	cioattack           # matrix
+//	cioattack -v        # every result with detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confio/internal/attack"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each result with detail")
+	flag.Parse()
+
+	results := attack.RunAll()
+	if *verbose {
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		fmt.Println()
+	}
+	fmt.Print(attack.Matrix(results))
+
+	fmt.Println("\nper-transport summary:")
+	sum := attack.Summary(results)
+	for _, tr := range attack.TransportNames {
+		s := sum[tr]
+		fmt.Printf("  %-18s blocked=%d degraded=%d compromised=%d n/a=%d\n",
+			tr, s[attack.Blocked], s[attack.Degraded], s[attack.Compromised], s[attack.NotApplicable])
+	}
+
+	// Exit nonzero if the safe ring was ever compromised — CI guard for
+	// the paper's core claim.
+	for _, r := range results {
+		if (r.Transport == "safering" || r.Transport == "safering-revoke") && r.Verdict == attack.Compromised {
+			fmt.Fprintf(os.Stderr, "cioattack: SAFE RING COMPROMISED: %s\n", r)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Kvstore runs a confidential key-value store: the server keeps tenant
+// data inside its TEE and speaks an encrypted protocol over the safe
+// NIC, so neither the host nor the network ever sees keys or values in
+// the clear. The example then verifies exactly that, byte-grepping the
+// captured wire traffic for the secrets.
+//
+// Protocol (over ctls): op byte ('P'ut | 'G'et | 'D'el), key len u16,
+// key, [value len u32, value]. Replies: status byte, value for Get.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"confio/internal/ctls"
+	"confio/internal/ipv4"
+	"confio/internal/netstack"
+	"confio/internal/nic"
+	"confio/internal/platform"
+	"confio/internal/safering"
+	"confio/internal/simnet"
+)
+
+var psk = []byte("kvstore-attested-session-key!!!!")
+
+// store is the confidential state.
+type store struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (s *store) serve(rw io.ReadWriter) {
+	var hdr [3]byte
+	for {
+		if _, err := io.ReadFull(rw, hdr[:1]); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(rw, hdr[1:3]); err != nil {
+			return
+		}
+		key := make([]byte, binary.BigEndian.Uint16(hdr[1:3]))
+		if _, err := io.ReadFull(rw, key); err != nil {
+			return
+		}
+		switch hdr[0] {
+		case 'P':
+			var vl [4]byte
+			if _, err := io.ReadFull(rw, vl[:]); err != nil {
+				return
+			}
+			val := make([]byte, binary.BigEndian.Uint32(vl[:]))
+			if _, err := io.ReadFull(rw, val); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.m[string(key)] = val
+			s.mu.Unlock()
+			rw.Write([]byte{0})
+		case 'G':
+			s.mu.Lock()
+			val, ok := s.m[string(key)]
+			s.mu.Unlock()
+			if !ok {
+				rw.Write([]byte{1, 0, 0, 0, 0})
+				continue
+			}
+			var rep []byte
+			rep = append(rep, 0)
+			rep = binary.BigEndian.AppendUint32(rep, uint32(len(val)))
+			rep = append(rep, val...)
+			rw.Write(rep)
+		case 'D':
+			s.mu.Lock()
+			delete(s.m, string(key))
+			s.mu.Unlock()
+			rw.Write([]byte{0})
+		default:
+			return
+		}
+	}
+}
+
+// client wraps the protocol.
+type client struct{ rw io.ReadWriter }
+
+func (c client) put(key string, val []byte) error {
+	req := []byte{'P'}
+	req = binary.BigEndian.AppendUint16(req, uint16(len(key)))
+	req = append(req, key...)
+	req = binary.BigEndian.AppendUint32(req, uint32(len(val)))
+	req = append(req, val...)
+	if _, err := c.rw.Write(req); err != nil {
+		return err
+	}
+	var st [1]byte
+	_, err := io.ReadFull(c.rw, st[:])
+	return err
+}
+
+func (c client) get(key string) ([]byte, bool, error) {
+	req := []byte{'G'}
+	req = binary.BigEndian.AppendUint16(req, uint16(len(key)))
+	req = append(req, key...)
+	if _, err := c.rw.Write(req); err != nil {
+		return nil, false, err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, false, err
+	}
+	val := make([]byte, binary.BigEndian.Uint32(hdr[1:]))
+	if _, err := io.ReadFull(c.rw, val); err != nil {
+		return nil, false, err
+	}
+	return val, hdr[0] == 0, nil
+}
+
+func (c client) del(key string) error {
+	req := []byte{'D'}
+	req = binary.BigEndian.AppendUint16(req, uint16(len(key)))
+	req = append(req, key...)
+	if _, err := c.rw.Write(req); err != nil {
+		return err
+	}
+	var st [1]byte
+	_, err := io.ReadFull(c.rw, st[:])
+	return err
+}
+
+func node(net *simnet.Network, mac byte, ip ipv4.Addr, meter *platform.Meter) (*netstack.Stack, func()) {
+	cfg := safering.DefaultConfig()
+	cfg.MAC[5] = mac
+	ep, err := safering.New(cfg, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pump := nic.StartPump(safering.NewHostPort(ep.Shared()).NIC(), net.NewPort())
+	st := netstack.New(ep.NIC(), ip)
+	st.Start()
+	return st, func() { st.Close(); pump.Stop() }
+}
+
+func main() {
+	meter := &platform.Meter{}
+	net := simnet.New()
+	net.EnablePayloadCapture()
+	serverIP := ipv4.Addr{10, 2, 0, 1}
+	clientIP := ipv4.Addr{10, 2, 0, 2}
+	server, cs := node(net, 1, serverIP, meter)
+	cl, cc := node(net, 2, clientIP, meter)
+	defer cs()
+	defer cc()
+
+	kv := &store{m: make(map[string][]byte)}
+	l, err := server.Listen(6379, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sec, err := ctls.Server(c, psk, meter)
+				if err != nil {
+					c.Close()
+					return
+				}
+				defer sec.Close()
+				kv.serve(sec)
+			}()
+		}
+	}()
+
+	tc, err := cl.Dial(serverIP, 6379, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sec, err := ctls.Client(tc, psk, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kvc := client{sec}
+
+	secretKey := "tenant/alice/ssn"
+	secretVal := []byte("123-45-6789-SECRET")
+	if err := kvc.put(secretKey, secretVal); err != nil {
+		log.Fatal(err)
+	}
+	got, ok, err := kvc.get(secretKey)
+	if err != nil || !ok || !bytes.Equal(got, secretVal) {
+		log.Fatalf("get: %q %v %v", got, ok, err)
+	}
+	fmt.Printf("put/get round trip: %q -> %q\n", secretKey, got)
+	if err := kvc.del(secretKey); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok, _ := kvc.get(secretKey); ok {
+		log.Fatal("delete failed")
+	}
+	fmt.Println("delete verified")
+	sec.Close()
+
+	// The punchline: grep every byte the on-path attacker captured for
+	// the tenant secrets. The AEAD channel means they never appear.
+	var wire []byte
+	for _, f := range net.Payloads() {
+		wire = append(wire, f...)
+	}
+	fmt.Printf("wire frames captured: %d (%d bytes)\n", len(net.Payloads()), len(wire))
+	fmt.Printf("confidential-side costs: %s\n", meter.Snapshot())
+	if bytes.Contains(wire, secretVal) || bytes.Contains(wire, []byte(secretKey)) {
+		log.Fatal("SECRET LEAKED TO WIRE")
+	}
+	fmt.Println("no plaintext secrets on the wire (AEAD-sealed end to end)")
+}

@@ -1,0 +1,49 @@
+// Quickstart: build the paper's dual-boundary design, run a workload
+// through it, and print every quantity Figure 5 plots — in ~30 lines of
+// API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"confio/internal/core"
+	"confio/internal/platform"
+)
+
+func main() {
+	// A "world" is a complete design point: confidential client + server,
+	// their untrusted hosts, and the network between them.
+	w, err := core.NewWorld(core.DualBoundary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	// 100 encrypted request/response exchanges through the full path:
+	// app -> L5 gate -> in-compartment TCP/IP -> safe ring -> host ->
+	// network -> ... and back.
+	echo, err := w.RunEcho(100, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("echo   :", echo)
+
+	bulk, err := w.RunBulk(4<<20, 32<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bulk   :", bulk)
+
+	costs := w.Costs()
+	fmt.Println("costs  :", costs)
+	fmt.Printf("model  : %.1f ms total under the default TEE calibration\n",
+		costs.ModelNanos(platform.DefaultCostParams())/1e6)
+
+	fmt.Println("host view:", w.Observability()) // what the host learned
+	coreTCB, teeTotal := w.TCB()
+	fmt.Println("core TCB:", coreTCB)
+	fmt.Println("TEE total:", teeTotal)
+	fmt.Printf("\nnote: TEE crossings = %d (the data path polls; that is the point)\n",
+		costs.TEECrossings)
+}

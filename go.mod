@@ -1,0 +1,3 @@
+module confio
+
+go 1.22

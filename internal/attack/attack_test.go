@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResilienceMatrix runs the full suite and asserts the paper's
+// headline claims hold in this reproduction.
+func TestResilienceMatrix(t *testing.T) {
+	results := RunAll()
+	if len(results) == 0 {
+		t.Fatal("empty suite")
+	}
+	byTransport := Summary(results)
+
+	// Claim 1: the safe ring is never compromised, in either RX policy.
+	for _, tr := range []string{"safering", "safering-revoke"} {
+		if n := byTransport[tr][Compromised]; n != 0 {
+			t.Errorf("%s compromised %d times", tr, n)
+			logTransport(t, results, tr)
+		}
+	}
+
+	// Claim 2: the unhardened legacy transports are compromised by
+	// several attack classes.
+	for _, tr := range []string{"virtio", "netvsc"} {
+		if n := byTransport[tr][Compromised]; n < 3 {
+			t.Errorf("%s compromised only %d times; baseline should be exploitable", tr, n)
+			logTransport(t, results, tr)
+		}
+	}
+
+	// Claim 3: full retrofitting blocks the modelled classes (at a
+	// measured performance cost — see the benchmarks).
+	for _, tr := range []string{"virtio-hardened", "netvsc-hardened"} {
+		if n := byTransport[tr][Compromised]; n != 0 {
+			t.Errorf("%s compromised %d times despite full hardening", tr, n)
+			logTransport(t, results, tr)
+		}
+	}
+
+	// Claim 4: a breached I/O layer dies at the L5 secure channel.
+	found := false
+	for _, r := range results {
+		if r.Attack == AtkL5AfterL2Breach {
+			found = true
+			if r.Verdict != Blocked {
+				t.Errorf("multi-stage scenario: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("multi-stage scenario missing")
+	}
+}
+
+func logTransport(t *testing.T, results []Result, tr string) {
+	t.Helper()
+	for _, r := range results {
+		if r.Transport == tr {
+			t.Logf("  %s", r)
+		}
+	}
+}
+
+func TestEveryScenarioHasCoordinates(t *testing.T) {
+	knownAtk := map[string]bool{}
+	for _, a := range AttackNames {
+		knownAtk[a] = true
+	}
+	for _, sc := range Suite() {
+		if !knownAtk[sc.Attack] {
+			t.Errorf("scenario attack %q not in AttackNames", sc.Attack)
+		}
+		if sc.Transport == "" {
+			t.Errorf("scenario %q has no transport", sc.Attack)
+		}
+	}
+}
+
+func TestSuiteCoverage(t *testing.T) {
+	// Every transport column faces every L2 attack class.
+	have := map[[2]string]bool{}
+	for _, sc := range Suite() {
+		have[[2]string{sc.Attack, sc.Transport}] = true
+	}
+	for _, tr := range TransportNames {
+		for _, atk := range AttackNames {
+			if atk == AtkL5AfterL2Breach {
+				continue
+			}
+			if atk == AtkIndexRewind && !strings.HasPrefix(tr, "safering") {
+				continue // modelled only where consumer indexes exist separately
+			}
+			if !have[[2]string{atk, tr}] {
+				t.Errorf("no scenario for %s × %s", atk, tr)
+			}
+		}
+	}
+}
+
+func TestMatrixRendering(t *testing.T) {
+	results := RunAll()
+	m := Matrix(results)
+	for _, tr := range TransportNames {
+		if !strings.Contains(m, tr) {
+			t.Errorf("matrix missing transport %s", tr)
+		}
+	}
+	if !strings.Contains(m, AtkLengthLie) || !strings.Contains(m, string(Compromised)) {
+		t.Fatalf("matrix incomplete:\n%s", m)
+	}
+	if !strings.Contains(m, AtkL5AfterL2Breach) {
+		t.Fatal("matrix missing cross-layer row")
+	}
+}
+
+func TestVerdictDerivedNotAsserted(t *testing.T) {
+	// Spot check: the same attack flips verdict with hardening — the
+	// harness measures behaviour rather than echoing expectations.
+	results := RunAll()
+	verdict := func(atk, tr string) Verdict {
+		for _, r := range results {
+			if r.Attack == atk && r.Transport == tr {
+				return r.Verdict
+			}
+		}
+		return ""
+	}
+	if verdict(AtkDoubleFetch, "virtio") != Compromised {
+		t.Error("unhardened virtio should lose the double-fetch")
+	}
+	if verdict(AtkDoubleFetch, "virtio-hardened") != Blocked {
+		t.Error("hardened virtio should win the double-fetch")
+	}
+	if verdict(AtkLengthLie, "netvsc") != Compromised {
+		t.Error("unhardened netvsc should leak on length lie")
+	}
+	if verdict(AtkLengthLie, "netvsc-hardened") != Blocked {
+		t.Error("hardened netvsc should block length lie")
+	}
+	if verdict(AtkFeatureTOCTOU, "safering") != NotApplicable {
+		t.Error("safering has no control plane to TOCTOU")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Attack: "a", Transport: "t", Verdict: Blocked, Detail: "d"}
+	if !strings.Contains(r.String(), "BLOCKED") {
+		t.Fatal("Result.String")
+	}
+}

@@ -1,0 +1,208 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"confio/internal/platform"
+	"confio/internal/safering"
+)
+
+// saferingScenarios attacks the paper's safe ring, in both receive
+// policies. Expected (and asserted by the tests): everything Blocked or
+// bounded to network-equivalent noise — the structural-safety claim.
+func saferingScenarios() []Scenario {
+	var out []Scenario
+	for _, variant := range []struct {
+		name string
+		rx   safering.RXPolicy
+		mode safering.DataMode
+	}{
+		{"safering", safering.CopyOut, safering.SharedArea},
+		{"safering-revoke", safering.Revoke, safering.SharedArea},
+	} {
+		v := variant
+		mk := func() (*safering.Endpoint, *safering.HostPort) {
+			cfg := safering.DefaultConfig()
+			cfg.Mode = v.mode
+			cfg.RX = v.rx
+			cfg.SlotSize = 64
+			ep, err := safering.New(cfg, nil)
+			if err != nil {
+				panic(err)
+			}
+			return ep, safering.NewHostPort(ep.Shared())
+		}
+
+		out = append(out,
+			Scenario{AtkIndexOverclaim, v.name, func() Result {
+				ep, _ := mk()
+				ep.Shared().RXUsed.Indexes().StoreProd(uint64(ep.Config().Slots) * 4)
+				_, err := ep.Recv()
+				return verdictFromFatal(AtkIndexOverclaim, v.name, err, safering.ErrProtocol,
+					compromised(AtkIndexOverclaim, v.name, "overclaim accepted"))
+			}},
+			Scenario{AtkIndexRewind, v.name, func() Result {
+				ep, hp := mk()
+				buf := make([]byte, ep.Config().FrameCap())
+				for i := 0; i < 3; i++ {
+					if err := ep.Send(frame(64, 1)); err != nil {
+						return compromised(AtkIndexRewind, v.name, "setup: "+err.Error())
+					}
+					if _, err := hp.Pop(buf); err != nil {
+						return compromised(AtkIndexRewind, v.name, "setup: "+err.Error())
+					}
+				}
+				if err := ep.Reap(); err != nil {
+					return compromised(AtkIndexRewind, v.name, "setup reap: "+err.Error())
+				}
+				ep.Shared().TX.Indexes().StoreCons(1)
+				err := ep.Reap()
+				return verdictFromFatal(AtkIndexRewind, v.name, err, safering.ErrProtocol,
+					compromised(AtkIndexRewind, v.name, "rewind accepted"))
+			}},
+			Scenario{AtkLengthLie, v.name, func() Result {
+				ep, _ := mk()
+				ep.Shared().RXUsed.WriteDesc(0, safering.Desc{Len: 1 << 30, Kind: safering.KindShared})
+				ep.Shared().RXUsed.Indexes().StoreProd(1)
+				_, err := ep.Recv()
+				return verdictFromFatal(AtkLengthLie, v.name, err, safering.ErrProtocol,
+					compromised(AtkLengthLie, v.name, "lied length accepted"))
+			}},
+			Scenario{AtkDoubleFetch, v.name, func() Result {
+				ep, hp := mk()
+				want := frame(256, 7)
+				if err := hp.Push(want); err != nil {
+					return compromised(AtkDoubleFetch, v.name, "setup: "+err.Error())
+				}
+				rx, err := ep.Recv()
+				if err != nil {
+					return compromised(AtkDoubleFetch, v.name, "setup: "+err.Error())
+				}
+				// Host rewrites the slab after delivery — through the
+				// host's (fault-checked) view; only the guest can touch
+				// revoked pages directly.
+				hv := ep.Shared().RXData.HostView()
+				junk := bytes.Repeat([]byte{0xEE}, 256)
+				for page := 0; page < ep.Config().Slots; page++ {
+					werr := hv.WriteAt(junk, uint64(page)*platform.PageSize)
+					if v.rx == safering.Revoke && page == 0 && !errors.Is(werr, platform.ErrRevoked) {
+						return compromised(AtkDoubleFetch, v.name, "revoked page writable by host")
+					}
+				}
+				if !bytes.Equal(rx.Bytes(), want) {
+					return compromised(AtkDoubleFetch, v.name, "post-delivery rewrite visible to guest")
+				}
+				rx.Release()
+				return blocked(AtkDoubleFetch, v.name, fmt.Sprintf("%s closes the window", v.rx))
+			}},
+			Scenario{AtkReplay, v.name, func() Result {
+				ep, hp := mk()
+				if err := hp.Push(frame(64, 1)); err != nil {
+					return compromised(AtkReplay, v.name, "setup: "+err.Error())
+				}
+				rx, err := ep.Recv()
+				if err != nil {
+					return compromised(AtkReplay, v.name, "setup: "+err.Error())
+				}
+				d := ep.Shared().RXUsed.ReadDesc(0)
+				ep.Shared().RXUsed.WriteDesc(1, d)
+				ep.Shared().RXUsed.Indexes().StoreProd(2)
+				rx2, err := ep.Recv()
+				if v.rx == safering.Revoke {
+					// Slab is guest-held: the replay is a use-after-free
+					// attempt and must be fatal.
+					_ = rx
+					return verdictFromFatal(AtkReplay, v.name, err, safering.ErrProtocol,
+						compromised(AtkReplay, v.name, "replayed completion accepted for held slab"))
+				}
+				// Copy mode reposted the slab, so the replay is just a
+				// host-injected frame: network-equivalent noise.
+				if err == nil {
+					rx2.Release()
+					return degraded(AtkReplay, v.name, "replay == garbage frame injection (host can always inject)")
+				}
+				return blocked(AtkReplay, v.name, err.Error())
+			}},
+			Scenario{AtkForgedHandle, v.name, func() Result {
+				ep, hp := mk()
+				if v.rx == safering.Revoke {
+					if err := hp.Push(frame(64, 1)); err != nil {
+						return compromised(AtkForgedHandle, v.name, "setup: "+err.Error())
+					}
+					rx, err := ep.Recv() // hold the slab
+					if err != nil {
+						return compromised(AtkForgedHandle, v.name, "setup: "+err.Error())
+					}
+					defer rx.Release()
+					held := ep.Shared().RXUsed.ReadDesc(0).Ref
+					forged := 0xFFFFFFFF00000000 | held
+					ep.Shared().RXUsed.WriteDesc(1, safering.Desc{Len: 64, Kind: safering.KindShared, Ref: forged})
+					ep.Shared().RXUsed.Indexes().StoreProd(2)
+					_, err = ep.Recv()
+					return verdictFromFatal(AtkForgedHandle, v.name, err, safering.ErrProtocol,
+						compromised(AtkForgedHandle, v.name, "forged handle reached held slab"))
+				}
+				ep.Shared().RXUsed.WriteDesc(0, safering.Desc{Len: 64, Kind: safering.KindShared, Ref: 0xFFFFFFFFFFFF0000})
+				ep.Shared().RXUsed.Indexes().StoreProd(1)
+				rx, err := ep.Recv()
+				if err != nil {
+					return blocked(AtkForgedHandle, v.name, err.Error())
+				}
+				rx.Release()
+				return degraded(AtkForgedHandle, v.name, "masked into range: garbage frame, no escape")
+			}},
+			Scenario{AtkNotifStorm, v.name, func() Result {
+				cfg := safering.DefaultConfig()
+				cfg.Notify = true
+				ep, err := safering.New(cfg, nil)
+				if err != nil {
+					panic(err)
+				}
+				hp := safering.NewHostPort(ep.Shared())
+				// 10k spurious doorbells, then real traffic must still work.
+				for i := 0; i < 10000; i++ {
+					ep.Shared().RXBell.Ring()
+				}
+				if err := hp.Push(frame(64, 2)); err != nil {
+					return compromised(AtkNotifStorm, v.name, "push failed after storm")
+				}
+				rx, err := ep.Recv()
+				if err != nil || !bytes.Equal(rx.Bytes(), frame(64, 2)) {
+					return compromised(AtkNotifStorm, v.name, "storm corrupted delivery")
+				}
+				rx.Release()
+				return blocked(AtkNotifStorm, v.name, "doorbells coalesce; handlers stateless/idempotent")
+			}},
+			Scenario{AtkFeatureTOCTOU, v.name, func() Result {
+				return na(AtkFeatureTOCTOU, v.name, "zero-negotiation: no control plane exists")
+			}},
+			Scenario{AtkStaleMemory, v.name, func() Result {
+				ep, hp := mk()
+				// Transmit a secret, let the host consume it, reap, then
+				// check the host-visible slab is scrubbed.
+				secret := frame(128, 0x5E)
+				if err := ep.Send(secret); err != nil {
+					return compromised(AtkStaleMemory, v.name, "setup: "+err.Error())
+				}
+				buf := make([]byte, ep.Config().FrameCap())
+				if _, err := hp.Pop(buf); err != nil {
+					return compromised(AtkStaleMemory, v.name, "setup: "+err.Error())
+				}
+				if err := ep.Reap(); err != nil {
+					return compromised(AtkStaleMemory, v.name, "reap: "+err.Error())
+				}
+				leak := make([]byte, 128)
+				ep.Shared().TXData.Region().ReadAt(leak, 0)
+				for _, b := range leak {
+					if b != 0 {
+						return compromised(AtkStaleMemory, v.name, "freed TX slab not scrubbed")
+					}
+				}
+				return blocked(AtkStaleMemory, v.name, "slabs scrubbed on free")
+			}},
+		)
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package blkring carries block I/O between the guest TEE and the
+// untrusted host disk backend, applying the same safe-by-construction
+// principles as the network safe ring (the low boundary of §3.3's
+// storage generalization): a stateless SPSC request ring with masked
+// indexes, single-fetch descriptor snapshots, data staged through a
+// generation-tagged arena, no negotiation and no notifications.
+//
+// Requests complete *in place*: the host writes the status into the slot
+// it consumed, and slot ownership returns to the guest with the
+// ring's consumer index — there is no separate completion path to
+// desynchronize.
+package blkring
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"confio/internal/blockdev"
+	"confio/internal/platform"
+	"confio/internal/safering"
+	"confio/internal/shmem"
+)
+
+// Request opcodes.
+const (
+	OpRead  uint32 = 1
+	OpWrite uint32 = 2
+)
+
+// Status values (written by the host into the consumed slot).
+const (
+	StatusPending uint32 = 0
+	StatusOK      uint32 = 1
+	StatusIOError uint32 = 2
+)
+
+const slotSize = 32
+
+// Slot layout: op u32 @0, status u32 @4, lba u64 @8, handle u64 @16,
+// len u32 @24.
+
+// Errors.
+var (
+	ErrProtocol = errors.New("blkring: fatal protocol violation")
+	ErrIO       = errors.New("blkring: host reported I/O error")
+	ErrDead     = errors.New("blkring: endpoint dead after violation")
+	ErrTimeout  = errors.New("blkring: request timed out")
+)
+
+// Shared is the host-visible state.
+type Shared struct {
+	Ring *safering.Ring // 32-byte slots; we use the raw region
+	Data *shmem.Arena   // sector staging slabs
+}
+
+// Endpoint is the guest side; it implements blockdev.Disk over the ring.
+type Endpoint struct {
+	sh      *Shared
+	meter   *platform.Meter
+	sectors uint64
+
+	mu       sync.Mutex
+	head     uint64
+	consSeen uint64
+	dead     error
+}
+
+// New builds a guest endpoint for a backing disk of `sectors` sectors
+// with a ring of `slots` requests (power of two).
+func New(slots int, sectors uint64, meter *platform.Meter) (*Endpoint, error) {
+	ring, err := safering.NewRing(slots, slotSize)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := shmem.NewArena(blockdev.SectorSize, slots)
+	if err != nil {
+		return nil, err
+	}
+	return &Endpoint{
+		sh:      &Shared{Ring: ring, Data: arena},
+		meter:   meter,
+		sectors: sectors,
+	}, nil
+}
+
+// Shared exposes the host-visible state.
+func (e *Endpoint) Shared() *Shared { return e.sh }
+
+// Sectors implements blockdev.Disk.
+func (e *Endpoint) Sectors() uint64 { return e.sectors }
+
+// Dead returns the fatal error, if any.
+func (e *Endpoint) Dead() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}
+
+func (e *Endpoint) fail(err error) error {
+	if e.dead == nil {
+		e.dead = err
+	}
+	return e.dead
+}
+
+// submit issues one request and waits (polling) for its completion.
+func (e *Endpoint) submit(op uint32, lba uint64, data []byte, out []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return ErrDead
+	}
+	if lba >= e.sectors {
+		return blockdev.ErrOutOfRange
+	}
+
+	h, err := e.sh.Data.Alloc()
+	if err != nil {
+		return fmt.Errorf("blkring: %w", err)
+	}
+	defer func() { _ = e.sh.Data.HandleFree(shmem.FreeMsg{H: h}) }()
+	if op == OpWrite {
+		if err := e.sh.Data.Write(h, data); err != nil {
+			return err
+		}
+		e.meter.Copy(len(data))
+	}
+
+	idx := e.head
+	off := e.sh.Ring.SlotOff(idx)
+	slots := e.sh.Ring.Slots()
+	slots.SetU32(off+0, op)
+	slots.SetU32(off+4, StatusPending)
+	slots.SetU64(off+8, lba)
+	slots.SetU64(off+16, uint64(h))
+	slots.SetU32(off+24, blockdev.SectorSize)
+	e.head++
+	e.sh.Ring.Indexes().StoreProd(e.head)
+
+	// Poll for completion: the host's consumer index covering our slot
+	// returns ownership, with the status written in place.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cons := e.sh.Ring.Indexes().LoadCons()
+		e.meter.Check(1)
+		if cons > e.head {
+			return e.fail(fmt.Errorf("%w: consumer %d ahead of producer %d", ErrProtocol, cons, e.head))
+		}
+		if cons < e.consSeen {
+			return e.fail(fmt.Errorf("%w: consumer ran backwards", ErrProtocol))
+		}
+		e.consSeen = cons
+		if cons > idx {
+			break
+		}
+		runtime.Gosched()
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+	}
+
+	status := slots.U32(off + 4) // single fetch
+	e.meter.Check(1)
+	switch status {
+	case StatusOK:
+	case StatusIOError:
+		return fmt.Errorf("%w: lba %d", ErrIO, lba)
+	default:
+		return e.fail(fmt.Errorf("%w: status %d", ErrProtocol, status))
+	}
+
+	if op == OpRead {
+		if err := e.sh.Data.Read(h, blockdev.SectorSize, out); err != nil {
+			return e.fail(fmt.Errorf("%w: readback: %v", ErrProtocol, err))
+		}
+		e.meter.Copy(blockdev.SectorSize)
+	}
+	return nil
+}
+
+// ReadSector implements blockdev.Disk.
+func (e *Endpoint) ReadSector(lba uint64, buf []byte) error {
+	if len(buf) != blockdev.SectorSize {
+		return blockdev.ErrBadSize
+	}
+	return e.submit(OpRead, lba, nil, buf)
+}
+
+// WriteSector implements blockdev.Disk.
+func (e *Endpoint) WriteSector(lba uint64, data []byte) error {
+	if len(data) != blockdev.SectorSize {
+		return blockdev.ErrBadSize
+	}
+	return e.submit(OpWrite, lba, data, nil)
+}
+
+// Backend is the honest host-side worker: it serves ring requests from a
+// physical disk. Like every honest host component, it validates what it
+// reads (mutual distrust).
+type Backend struct {
+	sh   *Shared
+	disk blockdev.Disk
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	tail uint64
+	dead error
+}
+
+// NewBackend attaches a disk to the ring's host side.
+func NewBackend(sh *Shared, disk blockdev.Disk) *Backend {
+	return &Backend{sh: sh, disk: disk, stop: make(chan struct{})}
+}
+
+// Dead returns the violation that stopped the backend, if any.
+func (b *Backend) Dead() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}
+
+// Start launches the service loop.
+func (b *Backend) Start() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		idle := 0
+		for {
+			select {
+			case <-b.stop:
+				return
+			default:
+			}
+			worked, err := b.Step()
+			if err != nil {
+				b.mu.Lock()
+				b.dead = err
+				b.mu.Unlock()
+				return
+			}
+			if worked {
+				idle = 0
+				continue
+			}
+			idle++
+			if idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}()
+}
+
+// Stop halts the service loop.
+func (b *Backend) Stop() {
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
+	}
+	b.wg.Wait()
+}
+
+// Step serves at most one request. Exported so tests (and adversarial
+// harnesses) can drive the backend deterministically.
+func (b *Backend) Step() (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prod := b.sh.Ring.Indexes().LoadProd()
+	if prod == b.tail {
+		return false, nil
+	}
+	if prod-b.tail > b.sh.Ring.NSlots() {
+		return false, fmt.Errorf("%w: producer overclaim", ErrProtocol)
+	}
+	off := b.sh.Ring.SlotOff(b.tail)
+	slots := b.sh.Ring.Slots()
+	// Single snapshot of the request.
+	op := slots.U32(off + 0)
+	lba := slots.U64(off + 8)
+	h := shmem.Handle(slots.U64(off + 16))
+	length := slots.U32(off + 24)
+
+	status := StatusOK
+	if length != blockdev.SectorSize || lba >= b.disk.Sectors() {
+		status = StatusIOError
+	} else {
+		slabOff := b.sh.Data.PeerOffset(h)
+		buf := make([]byte, blockdev.SectorSize)
+		switch op {
+		case OpWrite:
+			b.sh.Data.Region().ReadAt(buf, slabOff)
+			if err := b.disk.WriteSector(lba, buf); err != nil {
+				status = StatusIOError
+			}
+		case OpRead:
+			if err := b.disk.ReadSector(lba, buf); err != nil {
+				status = StatusIOError
+			} else {
+				b.sh.Data.Region().WriteAt(buf, slabOff)
+			}
+		default:
+			status = StatusIOError
+		}
+	}
+	slots.SetU32(off+4, status)
+	b.tail++
+	b.sh.Ring.Indexes().StoreCons(b.tail)
+	return true, nil
+}

@@ -1,0 +1,126 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sector(seed byte) []byte {
+	s := make([]byte, SectorSize)
+	for i := range s {
+		s[i] = seed + byte(i)
+	}
+	return s
+}
+
+func TestMemDiskRoundTrip(t *testing.T) {
+	d := NewMemDisk(4)
+	if d.Sectors() != 4 {
+		t.Fatal("sectors")
+	}
+	want := sector(1)
+	if err := d.WriteSector(2, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if err := d.ReadSector(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip")
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("op counts %d/%d", d.Reads, d.Writes)
+	}
+}
+
+func TestMemDiskUnwrittenZeros(t *testing.T) {
+	d := NewMemDisk(2)
+	buf := sector(9)
+	if err := d.ReadSector(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten sector not zeroed")
+		}
+	}
+}
+
+func TestMemDiskValidation(t *testing.T) {
+	d := NewMemDisk(2)
+	if err := d.ReadSector(5, make([]byte, SectorSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("oob read")
+	}
+	if err := d.WriteSector(5, make([]byte, SectorSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("oob write")
+	}
+	if err := d.ReadSector(0, make([]byte, 7)); !errors.Is(err, ErrBadSize) {
+		t.Fatal("bad size read")
+	}
+	if err := d.WriteSector(0, make([]byte, 7)); !errors.Is(err, ErrBadSize) {
+		t.Fatal("bad size write")
+	}
+}
+
+func TestMemDiskWriteCopies(t *testing.T) {
+	d := NewMemDisk(1)
+	data := sector(1)
+	d.WriteSector(0, data)
+	data[0] = 0xFF
+	got := make([]byte, SectorSize)
+	d.ReadSector(0, got)
+	if got[0] == 0xFF {
+		t.Fatal("disk aliases caller buffer")
+	}
+}
+
+func TestCorruptingDisk(t *testing.T) {
+	d := NewMemDisk(1)
+	d.WriteSector(0, sector(1))
+	c := &CorruptingDisk{Disk: d, Every: 2}
+	a, b := make([]byte, SectorSize), make([]byte, SectorSize)
+	c.ReadSector(0, a) // 1st: clean
+	c.ReadSector(0, b) // 2nd: corrupted
+	if bytes.Equal(a, b) {
+		t.Fatal("no corruption on 2nd read")
+	}
+}
+
+func TestRollbackDisk(t *testing.T) {
+	d := NewMemDisk(2)
+	d.WriteSector(0, sector(1))
+	r := &RollbackDisk{Disk: d}
+	if err := r.Snapshot([]uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteSector(0, sector(2)) // new state
+	buf := make([]byte, SectorSize)
+	r.ReadSector(0, buf)
+	if !bytes.Equal(buf, sector(2)) {
+		t.Fatal("inactive rollback served stale data")
+	}
+	r.Activate()
+	r.ReadSector(0, buf)
+	if !bytes.Equal(buf, sector(1)) {
+		t.Fatal("active rollback did not serve stale data")
+	}
+	// Non-snapshotted sectors pass through.
+	d.WriteSector(1, sector(3))
+	r.ReadSector(1, buf)
+	if !bytes.Equal(buf, sector(3)) {
+		t.Fatal("pass-through broken")
+	}
+}
+
+func TestSnoopDisk(t *testing.T) {
+	d := NewMemDisk(1)
+	s := &SnoopDisk{Disk: d}
+	data := sector(0)
+	copy(data, []byte("VISIBLE"))
+	s.WriteSector(0, data)
+	if !bytes.Contains(s.Seen(), []byte("VISIBLE")) {
+		t.Fatal("snoop missed write")
+	}
+}

@@ -1,0 +1,69 @@
+package ether
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := Frame{
+		Dst:     MAC{1, 2, 3, 4, 5, 6},
+		Src:     MAC{7, 8, 9, 10, 11, 12},
+		Type:    TypeIPv4,
+		Payload: []byte("payload"),
+	}
+	buf := Marshal(nil, f)
+	if len(buf) != HeaderLen+7 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	got, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.Type != f.Type || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	if _, err := Parse(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	if _, err := Parse(make([]byte, 14)); err != nil {
+		t.Fatalf("14-byte frame should parse: %v", err)
+	}
+}
+
+func TestMACHelpers(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("broadcast not broadcast")
+	}
+	if (MAC{1}).IsBroadcast() {
+		t.Fatal("unicast claims broadcast")
+	}
+	if Broadcast.String() != "ff:ff:ff:ff:ff:ff" {
+		t.Fatalf("String = %q", Broadcast.String())
+	}
+}
+
+func TestMarshalAppends(t *testing.T) {
+	prefix := []byte{0xAA}
+	buf := Marshal(prefix, Frame{Type: TypeARP})
+	if buf[0] != 0xAA || len(buf) != 1+HeaderLen {
+		t.Fatal("Marshal does not append to dst")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dst, src [6]byte, typ uint16, payload []byte) bool {
+		fr := Frame{Dst: MAC(dst), Src: MAC(src), Type: typ, Payload: payload}
+		got, err := Parse(Marshal(nil, fr))
+		return err == nil && got.Dst == fr.Dst && got.Src == fr.Src &&
+			got.Type == typ && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

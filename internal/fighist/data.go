@@ -1,0 +1,120 @@
+package fighist
+
+// Reconstructed datasets (see the package comment and DESIGN.md): commit
+// records whose category distribution matches the percentages the paper
+// prints in Figures 3 and 4, with subjects written in the style of the
+// actual Linux hardening series ("hv_netvsc: Add validation for
+// untrusted Hyper-V values", the virtio hardening discussions), and a
+// CVE series matching Figure 2's published shape.
+
+// NetvscCommits is the Figure 3 dataset: 28 commits in the study window,
+// of which 27 are hardening. Target shares (of all changes): add checks
+// 21%, mem init 18%, copies 14%, races 14%, restrict 14%, design 11%,
+// amend 1%.
+var NetvscCommits = []Commit{
+	// add-checks: 6 (21.4%)
+	{"nv001", "netvsc", "hv_netvsc: add validation for untrusted Hyper-V values", AddChecks},
+	{"nv002", "netvsc", "hv_netvsc: check packet length against ring bounds", AddChecks},
+	{"nv003", "netvsc", "hv_netvsc: validate rndis message type before dispatch", AddChecks},
+	{"nv004", "netvsc", "hv_netvsc: bounds-check completion transaction id", AddChecks},
+	{"nv005", "netvsc", "hv_netvsc: sanity check sub-channel count from host", AddChecks},
+	{"nv006", "netvsc", "hv_netvsc: verify section index from send indication", AddChecks},
+	// add-mem-init: 5 (17.9%)
+	{"nv007", "netvsc", "hv_netvsc: zero out receive buffer before posting", AddInit},
+	{"nv008", "netvsc", "hv_netvsc: initialize rndis request header fully", AddInit},
+	{"nv009", "netvsc", "hv_netvsc: use kzalloc for channel state to avoid uninitialized fields", AddInit},
+	{"nv010", "netvsc", "hv_netvsc: memset control message padding", AddInit},
+	{"nv011", "netvsc", "hv_netvsc: initialize per-queue statistics block", AddInit},
+	// add-copies: 4 (14.3%)
+	{"nv012", "netvsc", "hv_netvsc: copy inbound packets out of vmbus ring before parse", AddCopies},
+	{"nv013", "netvsc", "hv_netvsc: stage outbound data through bounce pages", AddCopies},
+	{"nv014", "netvsc", "hv_netvsc: force swiotlb for isolated VMs", AddCopies},
+	{"nv015", "netvsc", "hv_netvsc: copy completion data before use", AddCopies},
+	// protect-races: 4 (14.3%)
+	{"nv016", "netvsc", "hv_netvsc: read ring index once to avoid double fetch", RaceProtect},
+	{"nv017", "netvsc", "hv_netvsc: fix race between channel open and receive", RaceProtect},
+	{"nv018", "netvsc", "hv_netvsc: lock sub-channel table during host rescind", RaceProtect},
+	{"nv019", "netvsc", "hv_netvsc: use READ_ONCE semantics for host-written fields", RaceProtect},
+	// restrict-features: 4 (14.3%)
+	{"nv020", "netvsc", "hv_netvsc: disable RSC offload when channel untrusted", Restrict},
+	{"nv021", "netvsc", "hv_netvsc: restrict accepted rndis device types", Restrict},
+	{"nv022", "netvsc", "hv_netvsc: refuse oversized sub-channel requests", Restrict},
+	{"nv023", "netvsc", "hv_netvsc: drop support for legacy protocol versions", Restrict},
+	// design-changes: 3 (10.7%)
+	{"nv024", "netvsc", "hv_netvsc: rework receive path buffer ownership", Design},
+	{"nv025", "netvsc", "hv_netvsc: move completion handling out of interrupt context", Design},
+	{"nv026", "netvsc", "hv_netvsc: split control and data plane processing", Design},
+	// amend-previous: 1 (3.6%; paper prints ~1%)
+	{"nv027", "netvsc", "revert \"hv_netvsc: disable RSC offload when channel untrusted\"", Amend},
+	// non-hardening change in the same window
+	{"nv028", "netvsc", "hv_netvsc: update maintainer entry", Design},
+}
+
+// VirtioCommits is the Figure 4 dataset: 43 hardening commits. Target
+// shares: add checks 35%, amend/revert 28% ("over 40 commits, 12 either
+// revert or amend"), mem init 9%, copies 9%, races 9%, restrict 7%,
+// design 2%.
+var VirtioCommits = []Commit{
+	// add-checks: 15 (34.9%)
+	{"vt001", "virtio", "virtio_net: validate used length against buffer size", AddChecks},
+	{"vt002", "virtio", "virtio_ring: check descriptor index from used ring", AddChecks},
+	{"vt003", "virtio", "virtio_ring: bounds check indirect descriptor table", AddChecks},
+	{"vt004", "virtio", "virtio_net: sanity check header length from device", AddChecks},
+	{"vt005", "virtio", "virtio_ring: validate descriptor chain length", AddChecks},
+	{"vt006", "virtio", "virtio_net: check gso type from untrusted device", AddChecks},
+	{"vt007", "virtio", "virtio_ring: verify avail index progression", AddChecks},
+	{"vt008", "virtio", "virtio_net: validate mergeable buffer count", AddChecks},
+	{"vt009", "virtio", "virtio_blk: check request status byte range", AddChecks},
+	{"vt010", "virtio", "virtio_console: validate port id from control message", AddChecks},
+	{"vt011", "virtio", "virtio_ring: check next pointer stays in table", AddChecks},
+	{"vt012", "virtio", "virtio_net: verify ctrl command ack length", AddChecks},
+	{"vt013", "virtio", "virtio_balloon: sanity check page-frame numbers from config", AddChecks},
+	{"vt014", "virtio", "virtio_ring: validate queue size against negotiated max", AddChecks},
+	{"vt015", "virtio", "virtio_net: check xdp headroom from device hint", AddChecks},
+	// amend-previous: 12 (27.9%)
+	{"vt016", "virtio", "revert \"virtio_ring: check descriptor index from used ring\"", Amend},
+	{"vt017", "virtio", "revert \"virtio_net: validate used length against buffer size\"", Amend},
+	{"vt018", "virtio", "virtio_ring: fix regression in used index validation", Amend},
+	{"vt019", "virtio", "virtio_net: fix up header length check for big packets", Amend},
+	{"vt020", "virtio", "revert \"virtio_ring: verify avail index progression\"", Amend},
+	{"vt021", "virtio", "virtio_ring: fixes: broken chain length validation on legacy devices", Amend},
+	{"vt022", "virtio", "virtio_net: correct previous gso type hardening for UFO", Amend},
+	{"vt023", "virtio", "revert \"virtio_blk: check request status byte range\"", Amend},
+	{"vt024", "virtio", "virtio_console: fix regression from port id validation", Amend},
+	{"vt025", "virtio", "virtio_ring: amend indirect table bounds check for vhost", Amend},
+	{"vt026", "virtio", "revert \"virtio_net: check xdp headroom from device hint\"", Amend},
+	{"vt027", "virtio", "virtio_ring: fix up queue size validation for transitional devices", Amend},
+	// add-mem-init: 4 (9.3%)
+	{"vt028", "virtio", "virtio_net: zero out receive buffers before exposing to device", AddInit},
+	{"vt029", "virtio", "virtio_ring: initialize descriptor table on queue setup", AddInit},
+	{"vt030", "virtio", "virtio_blk: use kzalloc for request state", AddInit},
+	{"vt031", "virtio", "virtio_net: memset virtio header before send", AddInit},
+	// add-copies: 4 (9.3%)
+	{"vt032", "virtio", "virtio: force swiotlb bounce for encrypted guests", AddCopies},
+	{"vt033", "virtio", "virtio_net: copy small packets out of the DMA buffer", AddCopies},
+	{"vt034", "virtio", "virtio_ring: stage indirect tables through private copy", AddCopies},
+	{"vt035", "virtio", "virtio_console: copy control messages before parsing", AddCopies},
+	// protect-races: 4 (9.3%)
+	{"vt036", "virtio", "virtio_ring: read used index once per poll (double fetch)", RaceProtect},
+	{"vt037", "virtio", "virtio_net: fix race between config change and open", RaceProtect},
+	{"vt038", "virtio", "virtio_ring: use READ_ONCE for device-writable fields", RaceProtect},
+	{"vt039", "virtio", "virtio_blk: lock request table against concurrent completion", RaceProtect},
+	// restrict-features: 3 (7.0%)
+	{"vt040", "virtio", "virtio_net: disable indirect descriptors for untrusted devices", Restrict},
+	{"vt041", "virtio", "virtio_ring: restrict event index usage under confidential compute", Restrict},
+	{"vt042", "virtio", "virtio: refuse legacy (pre-1.0) devices in protected guests", Restrict},
+	// design-changes: 1 (2.3%)
+	{"vt043", "virtio", "virtio_ring: rework buffer ownership tracking for hardening", Design},
+}
+
+// NetCVEs is the Figure 2 dataset: remotely-exploitable CVEs in Linux
+// /net per year. Reconstructed to the published shape: activity in every
+// year from 2002 on (absent years in the figure mean zero), with the
+// count rising through the 2010s and staying high through 2022.
+var NetCVEs = []CVEYear{
+	{2002, 2}, {2003, 1}, {2004, 3}, {2005, 5}, {2006, 4},
+	{2007, 6}, {2008, 5}, {2009, 8}, {2010, 7}, {2011, 6},
+	{2012, 5}, {2013, 8}, {2014, 9}, {2015, 10}, {2016, 12},
+	{2017, 14}, {2018, 8}, {2019, 10}, {2020, 7}, {2021, 9},
+	{2022, 11},
+}

@@ -1,0 +1,142 @@
+package fighist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClassifierMatchesHandLabels(t *testing.T) {
+	all := append(append([]Commit{}, NetvscCommits...), VirtioCommits...)
+	mismatches := 0
+	for _, c := range all {
+		if got := Classify(c.Subject); got != c.Label {
+			// Non-hardening filler commits may classify as Design.
+			if c.Label == Design && got == Design {
+				continue
+			}
+			t.Logf("classifier: %q -> %s, label %s", c.Subject, got, c.Label)
+			mismatches++
+		}
+	}
+	if mismatches > len(all)/20 {
+		t.Fatalf("classifier disagrees with labels on %d/%d commits", mismatches, len(all))
+	}
+}
+
+func TestFigure4Distribution(t *testing.T) {
+	d := Aggregate(VirtioCommits, "virtio", true)
+	if d.Total() < 40 {
+		t.Fatalf("paper: 'over 40 commits'; dataset has %d", d.Total())
+	}
+	if d[Amend] != 12 {
+		t.Fatalf("paper: 12 amend/revert commits; dataset has %d", d[Amend])
+	}
+	targets := map[Category]float64{
+		AddChecks: 35, Amend: 28, AddInit: 9, AddCopies: 9, RaceProtect: 9, Restrict: 7,
+	}
+	for cat, want := range targets {
+		if got := d.Percent(cat); math.Abs(got-want) > 2.5 {
+			t.Errorf("virtio %s = %.1f%%, paper ~%v%%", cat, got, want)
+		}
+	}
+	// Headline: hardening is error-prone — more than a quarter of the
+	// effort is amending/reverting earlier hardening.
+	if d.Percent(Amend) < 25 {
+		t.Fatalf("amend share %.1f%% < 25%%", d.Percent(Amend))
+	}
+	// Checks dominate.
+	for _, c := range AllCategories {
+		if c != AddChecks && d[c] > d[AddChecks] {
+			t.Fatalf("%s (%d) exceeds add-checks (%d)", c, d[c], d[AddChecks])
+		}
+	}
+}
+
+func TestFigure3Distribution(t *testing.T) {
+	d := Aggregate(NetvscCommits, "netvsc", true)
+	targets := map[Category]float64{
+		AddChecks: 21, AddInit: 18, AddCopies: 14, RaceProtect: 14, Restrict: 14, Design: 11,
+	}
+	for cat, want := range targets {
+		if got := d.Percent(cat); math.Abs(got-want) > 4 {
+			t.Errorf("netvsc %s = %.1f%%, paper ~%v%%", cat, got, want)
+		}
+	}
+	if d[AddChecks] < d[AddInit] {
+		t.Fatal("checks should lead init")
+	}
+}
+
+func TestClassifierPipelineApproximatesLabels(t *testing.T) {
+	// Running the automated classifier instead of hand labels must give
+	// a distribution close to the labeled one (the pipeline is usable
+	// end to end).
+	hand := Aggregate(VirtioCommits, "virtio", true)
+	auto := Aggregate(VirtioCommits, "virtio", false)
+	for _, c := range AllCategories {
+		if math.Abs(hand.Percent(c)-auto.Percent(c)) > 8 {
+			t.Errorf("%s: hand %.1f%% vs auto %.1f%%", c, hand.Percent(c), auto.Percent(c))
+		}
+	}
+}
+
+func TestAggregateFiltersByDriver(t *testing.T) {
+	all := append(append([]Commit{}, NetvscCommits...), VirtioCommits...)
+	d := Aggregate(all, "netvsc", true)
+	if d.Total() != len(NetvscCommits) {
+		t.Fatalf("driver filter broken: %d", d.Total())
+	}
+	if Aggregate(all, "e1000", true).Total() != 0 {
+		t.Fatal("unknown driver should be empty")
+	}
+}
+
+func TestFigure2Trend(t *testing.T) {
+	st := Trend(NetCVEs)
+	if st.YearsCovered != 21 {
+		t.Fatalf("years covered = %d", st.YearsCovered)
+	}
+	// Headline: no quiet period — remotely exploitable CVEs keep coming.
+	if st.YearsWithCVEs != st.YearsCovered {
+		t.Fatalf("dataset has CVE-free years: %d/%d", st.YearsWithCVEs, st.YearsCovered)
+	}
+	if st.LongestQuiet != 0 {
+		t.Fatalf("longest quiet run = %d", st.LongestQuiet)
+	}
+	// Headline: the problem grows (the subsystem grows ~20% LoC per
+	// major version and stays wormy): second decade mean > first.
+	if st.SecondHalfMean <= st.FirstHalfMean {
+		t.Fatalf("trend not rising: %.1f vs %.1f", st.SecondHalfMean, st.FirstHalfMean)
+	}
+	if st.Total < 100 {
+		t.Fatalf("total = %d", st.Total)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	d := Aggregate(VirtioCommits, "virtio", true)
+	bars := RenderBars("Figure 4: virtio", d)
+	if !strings.Contains(bars, "add-checks") || !strings.Contains(bars, "%") {
+		t.Fatalf("bars: %q", bars)
+	}
+	csv := CSV(d)
+	if !strings.HasPrefix(csv, "category,count,percent\n") || len(strings.Split(csv, "\n")) < 8 {
+		t.Fatalf("csv: %q", csv)
+	}
+	series := RenderCVESeries(NetCVEs)
+	if !strings.Contains(series, "2002") || !strings.Contains(series, "2022") {
+		t.Fatalf("series: %q", series)
+	}
+	ccsv := CVECSV(NetCVEs)
+	if !strings.HasPrefix(ccsv, "year,count\n") {
+		t.Fatalf("cve csv: %q", ccsv)
+	}
+}
+
+func TestDistributionEdgeCases(t *testing.T) {
+	var d Distribution
+	if d.Total() != 0 || d.Percent(AddChecks) != 0 {
+		t.Fatal("empty distribution")
+	}
+}

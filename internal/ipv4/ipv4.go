@@ -1,0 +1,177 @@
+// Package ipv4 implements IPv4 header processing, the internet checksum,
+// and fragmentation/reassembly for the in-TEE network stack.
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers used by the stack.
+const (
+	ProtoICMP byte = 1
+	ProtoTCP  byte = 6
+	ProtoUDP  byte = 17
+)
+
+// HeaderLen is the size of a header without options (the stack never
+// emits options and rejects packets whose IHL exceeds the buffer).
+const HeaderLen = 20
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Header is a parsed IPv4 header.
+type Header struct {
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // bit1 = DF, bit0 (of this field) = MF
+	FragOff  uint16
+	TTL      uint8
+	Proto    byte
+	Src      Addr
+	Dst      Addr
+}
+
+// Flag bits for Header.Flags.
+const (
+	FlagMF uint8 = 1 // more fragments
+	FlagDF uint8 = 2 // don't fragment
+)
+
+// ErrMalformed reports an unusable IPv4 packet.
+var ErrMalformed = errors.New("ipv4: malformed packet")
+
+// ErrChecksum reports a header checksum failure.
+var ErrChecksum = errors.New("ipv4: bad header checksum")
+
+// Checksum computes the internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoChecksum computes the TCP/UDP pseudo-header checksum component.
+func PseudoChecksum(src, dst Addr, proto byte, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the checksum of a TCP/UDP segment including
+// the pseudo header.
+func TransportChecksum(src, dst Addr, proto byte, segment []byte) uint16 {
+	sum := PseudoChecksum(src, dst, proto, len(segment))
+	for len(segment) >= 2 {
+		sum += uint32(segment[0])<<8 | uint32(segment[1])
+		segment = segment[2:]
+	}
+	if len(segment) == 1 {
+		sum += uint32(segment[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// Parse decodes and validates an IPv4 packet, returning the header and
+// its payload (aliasing buf).
+func Parse(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes", ErrMalformed, len(buf))
+	}
+	if buf[0]>>4 != 4 {
+		return Header{}, nil, fmt.Errorf("%w: version %d", ErrMalformed, buf[0]>>4)
+	}
+	ihl := int(buf[0]&0xF) * 4
+	if ihl < HeaderLen || ihl > len(buf) {
+		return Header{}, nil, fmt.Errorf("%w: ihl %d", ErrMalformed, ihl)
+	}
+	if Checksum(buf[:ihl]) != 0 {
+		return Header{}, nil, ErrChecksum
+	}
+	var h Header
+	h.TotalLen = uint16(buf[2])<<8 | uint16(buf[3])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(buf) {
+		return Header{}, nil, fmt.Errorf("%w: total length %d", ErrMalformed, h.TotalLen)
+	}
+	h.ID = uint16(buf[4])<<8 | uint16(buf[5])
+	h.Flags = buf[6] >> 5
+	h.FragOff = (uint16(buf[6]&0x1F)<<8 | uint16(buf[7])) * 8
+	h.TTL = buf[8]
+	h.Proto = buf[9]
+	copy(h.Src[:], buf[12:16])
+	copy(h.Dst[:], buf[16:20])
+	return h, buf[ihl:h.TotalLen], nil
+}
+
+// Marshal appends an encoded packet (header + payload) to dst.
+func Marshal(dst []byte, h Header, payload []byte) []byte {
+	total := HeaderLen + len(payload)
+	start := len(dst)
+	dst = append(dst,
+		0x45, 0,
+		byte(total>>8), byte(total),
+		byte(h.ID>>8), byte(h.ID),
+		(h.Flags<<5)|byte(h.FragOff/8>>8), byte(h.FragOff/8),
+		h.TTL, h.Proto,
+		0, 0, // checksum
+	)
+	dst = append(dst, h.Src[:]...)
+	dst = append(dst, h.Dst[:]...)
+	ck := Checksum(dst[start : start+HeaderLen])
+	dst[start+10] = byte(ck >> 8)
+	dst[start+11] = byte(ck)
+	return append(dst, payload...)
+}
+
+// Fragment splits payload into IPv4 packets that fit mtu, all sharing
+// id. If the payload fits, one unfragmented packet is produced.
+func Fragment(h Header, payload []byte, mtu int) ([][]byte, error) {
+	maxData := (mtu - HeaderLen) &^ 7 // fragment data must be 8-aligned
+	if maxData <= 0 {
+		return nil, fmt.Errorf("%w: mtu %d too small", ErrMalformed, mtu)
+	}
+	if HeaderLen+len(payload) <= mtu {
+		h.Flags &^= FlagMF
+		h.FragOff = 0
+		return [][]byte{Marshal(nil, h, payload)}, nil
+	}
+	if h.Flags&FlagDF != 0 {
+		return nil, fmt.Errorf("%w: DF set but payload %d exceeds mtu %d", ErrMalformed, len(payload), mtu)
+	}
+	var out [][]byte
+	for off := 0; off < len(payload); off += maxData {
+		end := off + maxData
+		fh := h
+		fh.FragOff = uint16(off)
+		if end >= len(payload) {
+			end = len(payload)
+			fh.Flags &^= FlagMF
+		} else {
+			fh.Flags |= FlagMF
+		}
+		out = append(out, Marshal(nil, fh, payload[off:end]))
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package netstack_test
+
+import (
+	"testing"
+	"time"
+
+	"confio/internal/ipv4"
+	"confio/internal/netstack"
+	"confio/internal/nic"
+	"confio/internal/safering"
+	"confio/internal/simnet"
+)
+
+// oneStack builds a stack whose host side is driven manually (no pump),
+// so tests can inject raw frames.
+func oneStack(t *testing.T) (*netstack.Stack, *safering.HostPort) {
+	t.Helper()
+	cfg := safering.DefaultConfig()
+	cfg.MAC[5] = 0x77
+	ep, err := safering.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := netstack.New(ep.NIC(), ipv4.Addr{10, 0, 0, 7})
+	st.Start()
+	t.Cleanup(st.Close)
+	return st, safering.NewHostPort(ep.Shared())
+}
+
+func waitFrames(t *testing.T, st *netstack.Stack, min uint64) netstack.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := st.Stats(); s.FramesIn >= min {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("stack never saw %d frames: %+v", min, st.Stats())
+	return netstack.Stats{}
+}
+
+func TestForeignDestinationIgnored(t *testing.T) {
+	st, hp := oneStack(t)
+	// Frame addressed to a different MAC: counted in, then dropped at L2.
+	f := make([]byte, 60)
+	copy(f[0:6], []byte{2, 2, 2, 2, 2, 2}) // not ours, not broadcast
+	f[12], f[13] = 0x08, 0x00
+	if err := hp.Push(f); err != nil {
+		t.Fatal(err)
+	}
+	s := waitFrames(t, st, 1)
+	if s.IPDrops != 0 {
+		t.Fatalf("foreign frame should be ignored before IP: %+v", s)
+	}
+}
+
+func TestMalformedIPv4Counted(t *testing.T) {
+	st, hp := oneStack(t)
+	f := make([]byte, 40)
+	copy(f[0:6], []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // broadcast: reaches IP layer
+	f[12], f[13] = 0x08, 0x00
+	f[14] = 0x45 // version ok, but checksum will be garbage
+	for i := 15; i < 34; i++ {
+		f[i] = 0xAB
+	}
+	if err := hp.Push(f); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().IPDrops >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("malformed IPv4 not counted: %+v", st.Stats())
+}
+
+func TestUnknownProtocolDropped(t *testing.T) {
+	st, hp := oneStack(t)
+	// Valid IPv4 to our address, protocol 99.
+	h := ipv4.Header{TTL: 64, Proto: 99, Src: ipv4.Addr{10, 0, 0, 9}, Dst: ipv4.Addr{10, 0, 0, 7}}
+	pkt := ipv4.Marshal(nil, h, []byte("??"))
+	f := make([]byte, 14+len(pkt))
+	copy(f[0:6], []byte{0x02, 0x00, 0x00, 0xC1, 0x0A, 0x77})
+	f[12], f[13] = 0x08, 0x00
+	copy(f[14:], pkt)
+	if err := hp.Push(f); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().IPDrops >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("unknown protocol not counted: %+v", st.Stats())
+}
+
+func TestARPWaitersExpire(t *testing.T) {
+	// A send to a neighbour that never answers ARP is dropped after the
+	// pending TTL (and counted), not leaked forever.
+	net := simnet.New()
+	cfg := safering.DefaultConfig()
+	ep, err := safering.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pump attached so ARP requests actually leave; nobody answers.
+	pump := startPump(t, ep, net)
+	_ = pump
+	st := netstack.New(ep.NIC(), ipv4.Addr{10, 0, 0, 7})
+	st.Start()
+	t.Cleanup(st.Close)
+
+	u, err := st.OpenUDP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SendTo(ipv4.Addr{10, 0, 0, 99}, 9, []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().SendDrops >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("unresolved ARP waiter never expired: %+v", st.Stats())
+}
+
+func startPump(t *testing.T, ep *safering.Endpoint, net *simnet.Network) func() {
+	t.Helper()
+	pump := nic.StartPump(safering.NewHostPort(ep.Shared()).NIC(), net.NewPort())
+	t.Cleanup(pump.Stop)
+	return pump.Stop
+}
+
+func TestPing(t *testing.T) {
+	sa, sb, _ := twoStacks(t, transports()[0])
+	rtt, err := sa.Ping(sb.IP(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	// Several pings in a row (distinct ids).
+	for i := 0; i < 3; i++ {
+		if _, err := sa.Ping(sb.IP(), 5*time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	// Pinging a silent address times out.
+	if _, err := sa.Ping(ipv4.Addr{10, 0, 0, 99}, 200*time.Millisecond); err == nil {
+		t.Fatal("ping to nowhere succeeded")
+	}
+}
+
+func TestICMPBadChecksumDropped(t *testing.T) {
+	st, hp := oneStack(t)
+	h := ipv4.Header{TTL: 64, Proto: ipv4.ProtoICMP, Src: ipv4.Addr{10, 0, 0, 9}, Dst: ipv4.Addr{10, 0, 0, 7}}
+	icmp := make([]byte, 8)
+	icmp[0] = 8
+	icmp[2] = 0xBA // wrong checksum
+	pkt := ipv4.Marshal(nil, h, icmp)
+	f := make([]byte, 14+len(pkt))
+	copy(f[0:6], []byte{0x02, 0x00, 0x00, 0xC1, 0x0A, 0x77})
+	f[12], f[13] = 0x08, 0x00
+	copy(f[14:], pkt)
+	if err := hp.Push(f); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().IPDrops >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("bad ICMP checksum not dropped: %+v", st.Stats())
+}

@@ -1,0 +1,429 @@
+// Package netstack assembles the in-TEE network stack — Ethernet, ARP,
+// IPv4 (with fragmentation), UDP and TCP — on top of any transport that
+// implements nic.Guest (the paper's safe ring, or the virtio/netvsc
+// baselines).
+//
+// This package and everything below it is exactly the code mass that P1
+// decides the fate of: at an L2 boundary it sits inside the confidential
+// TCB; at L5 it runs on the untrusted host; in the paper's dual-boundary
+// design it runs inside the TEE but in a separate, distrusted I/O
+// compartment.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"confio/internal/arp"
+	"confio/internal/ether"
+	"confio/internal/ipv4"
+	"confio/internal/nic"
+	"confio/internal/tcp"
+	"confio/internal/udp"
+)
+
+// Stack is one host's network stack bound to a NIC.
+type Stack struct {
+	g  nic.Guest
+	ip ipv4.Addr
+
+	TCP *tcp.Endpoint
+
+	arpCache *arp.Cache
+	reasm    *ipv4.Reassembler
+
+	ping pinger
+
+	mu       sync.Mutex
+	udpPorts map[uint16]*UDPSocket
+	arpWait  map[ipv4.Addr][]pendingPkt
+	ipID     uint16
+	stats    Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Stats counts stack-level events.
+type Stats struct {
+	FramesIn, FramesOut uint64
+	ARPRequests         uint64
+	IPDrops             uint64
+	SendDrops           uint64
+}
+
+type pendingPkt struct {
+	proto   byte
+	payload []byte
+	queued  time.Time
+}
+
+const (
+	arpPendingMax = 64
+	arpPendingTTL = 2 * time.Second
+	sendRetries   = 200
+)
+
+// New binds a stack to a NIC with the given address. Call Start to begin
+// processing.
+func New(g nic.Guest, ip ipv4.Addr) *Stack {
+	s := &Stack{
+		g:        g,
+		ip:       ip,
+		arpCache: arp.NewCache(0),
+		reasm:    ipv4.NewReassembler(0, 0),
+		udpPorts: make(map[uint16]*UDPSocket),
+		arpWait:  make(map[ipv4.Addr][]pendingPkt),
+		stop:     make(chan struct{}),
+	}
+	s.TCP = tcp.NewEndpoint(ip, g.MTU(), func(dst ipv4.Addr, seg []byte) {
+		s.sendIP(dst, ipv4.ProtoTCP, seg)
+	}, nil)
+	return s
+}
+
+// IP returns the stack's address.
+func (s *Stack) IP() ipv4.Addr { return s.ip }
+
+// Stats returns a snapshot of the stack counters.
+func (s *Stack) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Start launches the receive/timer loop.
+func (s *Stack) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Close stops the stack's loop. Open connections are not torn down
+// gracefully (the TEE is being shut off).
+func (s *Stack) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+func (s *Stack) loop() {
+	defer s.wg.Done()
+	lastTick := time.Now()
+	idle := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		worked := false
+		for i := 0; i < 64; i++ {
+			fr, err := s.g.Recv()
+			if err != nil {
+				break
+			}
+			s.handleFrame(fr.Bytes())
+			fr.Release()
+			worked = true
+		}
+		if now := time.Now(); now.Sub(lastTick) >= time.Millisecond {
+			s.TCP.Tick()
+			s.expireARPWaiters(now)
+			lastTick = now
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle > 64 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+func (s *Stack) expireARPWaiters(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ip, pkts := range s.arpWait {
+		kept := pkts[:0]
+		for _, p := range pkts {
+			if now.Sub(p.queued) < arpPendingTTL {
+				kept = append(kept, p)
+			} else {
+				s.stats.SendDrops++
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.arpWait, ip)
+		} else {
+			s.arpWait[ip] = kept
+		}
+	}
+}
+
+// handleFrame processes one inbound Ethernet frame.
+func (s *Stack) handleFrame(buf []byte) {
+	s.mu.Lock()
+	s.stats.FramesIn++
+	s.mu.Unlock()
+
+	f, err := ether.Parse(buf)
+	if err != nil {
+		return
+	}
+	self := ether.MAC(s.g.MAC())
+	if f.Dst != self && !f.Dst.IsBroadcast() {
+		return
+	}
+	switch f.Type {
+	case ether.TypeARP:
+		s.handleARP(f)
+	case ether.TypeIPv4:
+		s.handleIPv4(f)
+	}
+}
+
+func (s *Stack) handleARP(f ether.Frame) {
+	p, err := arp.Parse(f.Payload)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	s.arpCache.Learn(p.SenderIP, p.SenderMAC, now)
+	s.flushARPWaiters(ipv4.Addr(p.SenderIP), p.SenderMAC)
+
+	if p.Op == arp.OpRequest && p.TargetIP == [4]byte(s.ip) {
+		rep := arp.ReplyTo(p, ether.MAC(s.g.MAC()), [4]byte(s.ip))
+		s.sendFrame(p.SenderMAC, ether.TypeARP, arp.Marshal(nil, rep))
+	}
+}
+
+// flushARPWaiters transmits packets that were waiting for mac.
+func (s *Stack) flushARPWaiters(ip ipv4.Addr, mac ether.MAC) {
+	s.mu.Lock()
+	pkts := s.arpWait[ip]
+	delete(s.arpWait, ip)
+	s.mu.Unlock()
+	for _, p := range pkts {
+		s.transmitIP(ip, mac, p.proto, p.payload)
+	}
+}
+
+func (s *Stack) handleIPv4(f ether.Frame) {
+	h, payload, err := ipv4.Parse(f.Payload)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.IPDrops++
+		s.mu.Unlock()
+		return
+	}
+	if h.Dst != s.ip {
+		return
+	}
+	full, done := s.reasm.Add(h, payload, time.Now())
+	if !done {
+		return
+	}
+	switch h.Proto {
+	case ipv4.ProtoTCP:
+		s.TCP.Input(h.Src, full)
+	case ipv4.ProtoUDP:
+		s.handleUDP(h.Src, full)
+	case ipv4.ProtoICMP:
+		s.handleICMP(h.Src, full)
+	default:
+		s.mu.Lock()
+		s.stats.IPDrops++
+		s.mu.Unlock()
+	}
+}
+
+// sendIP routes an IP payload: resolve the on-link MAC (queueing behind
+// ARP when unknown), fragment to the MTU, transmit.
+func (s *Stack) sendIP(dst ipv4.Addr, proto byte, payload []byte) {
+	now := time.Now()
+	if mac, ok := s.arpCache.Lookup(dst, now); ok {
+		s.transmitIP(dst, mac, proto, payload)
+		return
+	}
+	// Queue and ask — but ask only once per outstanding neighbour; the
+	// queued packets all ride on the same resolution.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.mu.Lock()
+	first := len(s.arpWait[dst]) == 0
+	if len(s.arpWait[dst]) < arpPendingMax {
+		s.arpWait[dst] = append(s.arpWait[dst], pendingPkt{proto: proto, payload: cp, queued: now})
+	} else {
+		s.stats.SendDrops++
+	}
+	if first {
+		s.stats.ARPRequests++
+	}
+	s.mu.Unlock()
+	if first {
+		req := arp.Request(ether.MAC(s.g.MAC()), [4]byte(s.ip), [4]byte(dst))
+		s.sendFrame(ether.Broadcast, ether.TypeARP, arp.Marshal(nil, req))
+	}
+}
+
+func (s *Stack) transmitIP(dst ipv4.Addr, mac ether.MAC, proto byte, payload []byte) {
+	s.mu.Lock()
+	s.ipID++
+	id := s.ipID
+	s.mu.Unlock()
+	h := ipv4.Header{ID: id, TTL: 64, Proto: proto, Src: s.ip, Dst: dst}
+	pkts, err := ipv4.Fragment(h, payload, s.g.MTU())
+	if err != nil {
+		s.mu.Lock()
+		s.stats.SendDrops++
+		s.mu.Unlock()
+		return
+	}
+	for _, p := range pkts {
+		s.sendFrame(mac, ether.TypeIPv4, p)
+	}
+}
+
+// sendFrame transmits one Ethernet frame, retrying briefly on transport
+// backpressure and dropping on persistent failure (upper layers recover).
+func (s *Stack) sendFrame(dst ether.MAC, typ uint16, payload []byte) {
+	frame := ether.Marshal(nil, ether.Frame{Dst: dst, Src: ether.MAC(s.g.MAC()), Type: typ, Payload: payload})
+	for i := 0; i < sendRetries; i++ {
+		err := s.g.Send(frame)
+		if err == nil {
+			s.mu.Lock()
+			s.stats.FramesOut++
+			s.mu.Unlock()
+			return
+		}
+		if !errors.Is(err, nic.ErrFull) {
+			break
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	s.mu.Lock()
+	s.stats.SendDrops++
+	s.mu.Unlock()
+}
+
+// --- TCP convenience API ---
+
+// Dial opens a TCP connection to dst:port.
+func (s *Stack) Dial(dst ipv4.Addr, port uint16, timeout time.Duration) (*tcp.Conn, error) {
+	return s.TCP.Dial(dst, port, timeout)
+}
+
+// Listen accepts TCP connections on port.
+func (s *Stack) Listen(port uint16, backlog int) (*tcp.Listener, error) {
+	return s.TCP.Listen(port, backlog)
+}
+
+// --- UDP sockets ---
+
+// UDPSocket is a bound UDP port.
+type UDPSocket struct {
+	s      *Stack
+	port   uint16
+	queue  chan Datagram
+	closed chan struct{}
+}
+
+// Datagram is one received UDP datagram.
+type Datagram struct {
+	Src     ipv4.Addr
+	SrcPort uint16
+	Payload []byte
+}
+
+// ErrPortInUse reports a duplicate UDP bind.
+var ErrPortInUse = errors.New("netstack: udp port in use")
+
+// ErrSocketClosed is returned after Close.
+var ErrSocketClosed = errors.New("netstack: udp socket closed")
+
+// ErrTimeout reports a receive deadline expiry.
+var ErrTimeout = errors.New("netstack: timeout")
+
+// OpenUDP binds a UDP socket to port.
+func (s *Stack) OpenUDP(port uint16) (*UDPSocket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, used := s.udpPorts[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	u := &UDPSocket{s: s, port: port, queue: make(chan Datagram, 256), closed: make(chan struct{})}
+	s.udpPorts[port] = u
+	return u, nil
+}
+
+func (s *Stack) handleUDP(src ipv4.Addr, payload []byte) {
+	d, err := udp.Parse(src, s.ip, payload)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.IPDrops++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	sock := s.udpPorts[d.DstPort]
+	s.mu.Unlock()
+	if sock == nil {
+		return
+	}
+	cp := make([]byte, len(d.Payload))
+	copy(cp, d.Payload)
+	select {
+	case sock.queue <- Datagram{Src: src, SrcPort: d.SrcPort, Payload: cp}:
+	default: // receiver too slow: drop (UDP semantics)
+	}
+}
+
+// SendTo transmits a datagram.
+func (u *UDPSocket) SendTo(dst ipv4.Addr, port uint16, payload []byte) error {
+	select {
+	case <-u.closed:
+		return ErrSocketClosed
+	default:
+	}
+	seg := udp.Marshal(nil, u.s.ip, dst, u.port, port, payload)
+	u.s.sendIP(dst, ipv4.ProtoUDP, seg)
+	return nil
+}
+
+// RecvFrom returns the next datagram, or ErrTimeout / ErrSocketClosed.
+func (u *UDPSocket) RecvFrom(timeout time.Duration) (Datagram, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	select {
+	case d := <-u.queue:
+		return d, nil
+	case <-u.closed:
+		return Datagram{}, ErrSocketClosed
+	case <-time.After(timeout):
+		return Datagram{}, ErrTimeout
+	}
+}
+
+// Port returns the bound port.
+func (u *UDPSocket) Port() uint16 { return u.port }
+
+// Close releases the port.
+func (u *UDPSocket) Close() {
+	u.s.mu.Lock()
+	defer u.s.mu.Unlock()
+	select {
+	case <-u.closed:
+		return
+	default:
+	}
+	close(u.closed)
+	delete(u.s.udpPorts, u.port)
+}

@@ -1,0 +1,185 @@
+// Package observe measures what the untrusted host can learn about a
+// confidential workload through its I/O boundary — the paper's second
+// vulnerability vector ("observability by the host", §2.2) and one axis
+// of Figure 5.
+//
+// The reference point is an attacker who merely taps the network: every
+// design leaks at least frame sizes and timings that way. A design's
+// observability score counts the *excess* channels its host boundary
+// exposes beyond that reference — plaintext payloads (host-terminated
+// transport), call patterns and socket metadata (syscall-level L5
+// boundaries), or, in the other direction, the *reduction* a TLS tunnel
+// achieves by hiding even inner frame sizes.
+package observe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Channel is one class of host-visible information.
+type Channel int
+
+// Channels, roughly ordered by how much they reveal.
+const (
+	// ChFrameMeta: size + timing of link-level frames. Network-equivalent:
+	// an on-path attacker sees this regardless of the host boundary.
+	ChFrameMeta Channel = iota
+	// ChDescriptorMeta: ring descriptor contents (sizes, queue depths).
+	// Equivalent in information to frame metadata.
+	ChDescriptorMeta
+	// ChTunnelOuter: only the outer sizes of a TLS tunnel (padded,
+	// aggregated) — strictly less than frame metadata.
+	ChTunnelOuter
+	// ChCallPattern: type and ordering of boundary calls (accept, read,
+	// write, poll timings) — the enclave syscall-observability channel.
+	ChCallPattern
+	// ChSocketMeta: ports, addresses, socket options, connection
+	// lifetimes as seen by a host-terminated socket layer.
+	ChSocketMeta
+	// ChPayload: plaintext application payload visible to the host.
+	ChPayload
+)
+
+var channelNames = map[Channel]string{
+	ChFrameMeta:      "frame-meta",
+	ChDescriptorMeta: "descriptor-meta",
+	ChTunnelOuter:    "tunnel-outer",
+	ChCallPattern:    "call-pattern",
+	ChSocketMeta:     "socket-meta",
+	ChPayload:        "payload",
+}
+
+func (c Channel) String() string {
+	if s, ok := channelNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Channel(%d)", int(c))
+}
+
+// weight scores one event on a channel. Frame/descriptor metadata weigh
+// zero: they are the network-equivalent baseline. A tunnel is credited
+// below baseline via the Report (it suppresses frame metadata), not via
+// negative weights.
+var weight = map[Channel]float64{
+	ChFrameMeta:      0,
+	ChDescriptorMeta: 0,
+	ChTunnelOuter:    0,
+	ChCallPattern:    1,
+	ChSocketMeta:     2,
+	ChPayload:        100,
+}
+
+// Meter records host-visible events during one experiment run.
+type Meter struct {
+	mu     sync.Mutex
+	counts map[Channel]uint64
+	bytes  map[Channel]uint64
+}
+
+// NewMeter returns an empty observability meter.
+func NewMeter() *Meter {
+	return &Meter{counts: make(map[Channel]uint64), bytes: make(map[Channel]uint64)}
+}
+
+// Observe records n bytes visible on channel ch. A nil meter is a no-op.
+func (m *Meter) Observe(ch Channel, n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[ch]++
+	m.bytes[ch] += uint64(n)
+}
+
+// Report summarizes a run.
+type Report struct {
+	Counts map[Channel]uint64
+	Bytes  map[Channel]uint64
+}
+
+// Report snapshots the meter.
+func (m *Meter) Report() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{Counts: make(map[Channel]uint64), Bytes: make(map[Channel]uint64)}
+	for k, v := range m.counts {
+		r.Counts[k] = v
+	}
+	for k, v := range m.bytes {
+		r.Bytes[k] = v
+	}
+	return r
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = make(map[Channel]uint64)
+	m.bytes = make(map[Channel]uint64)
+}
+
+// Score is the excess-observability score per boundary event: 0 means
+// "the host learns nothing beyond watching the network".
+func (r Report) Score() float64 {
+	var s float64
+	var events uint64
+	for ch, n := range r.Counts {
+		s += weight[ch] * float64(n)
+		events += n
+	}
+	if events == 0 {
+		return 0
+	}
+	return s / float64(events)
+}
+
+// HidesTraffic reports whether the design suppressed even the baseline
+// frame metadata (tunnel designs: inner frames never appear, only
+// tunnel-outer records).
+func (r Report) HidesTraffic() bool {
+	return r.Counts[ChTunnelOuter] > 0 && r.Counts[ChFrameMeta] == 0
+}
+
+// Class buckets the score the way Figure 5 labels observability.
+type Class string
+
+// Classes, least to most observable. The buckets mirror Figure 5's
+// labels: a syscall-level boundary (socket metadata + call patterns, the
+// Graphene/CCF case) is rated XL, a raw-frame boundary is the
+// network-equivalent M, a tunnel that hides even frame sizes is S.
+const (
+	ClassS  Class = "S"  // below network baseline (tunnel)
+	ClassM  Class = "M"  // network-equivalent
+	ClassL  Class = "L"  // call patterns exposed
+	ClassXL Class = "XL" // plaintext or socket-level metadata exposed
+)
+
+// Class returns the observability bucket.
+func (r Report) Class() Class {
+	switch {
+	case r.Counts[ChPayload] > 0 || r.Counts[ChSocketMeta] > 0:
+		return ClassXL
+	case r.Counts[ChCallPattern] > 0:
+		return ClassL
+	case r.HidesTraffic():
+		return ClassS
+	default:
+		return ClassM
+	}
+}
+
+func (r Report) String() string {
+	var parts []string
+	for ch := ChFrameMeta; ch <= ChPayload; ch++ {
+		if n := r.Counts[ch]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d(%dB)", ch, n, r.Bytes[ch]))
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("obs[%s] score=%.1f %s", r.Class(), r.Score(), strings.Join(parts, " "))
+}

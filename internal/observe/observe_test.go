@@ -1,0 +1,127 @@
+package observe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMeterSafe(t *testing.T) {
+	var m *Meter
+	m.Observe(ChPayload, 100)
+}
+
+func TestScoreBaselineIsZero(t *testing.T) {
+	m := NewMeter()
+	for i := 0; i < 100; i++ {
+		m.Observe(ChFrameMeta, 1500)
+		m.Observe(ChDescriptorMeta, 16)
+	}
+	r := m.Report()
+	if r.Score() != 0 {
+		t.Fatalf("network-equivalent run scored %v", r.Score())
+	}
+	if r.Class() != ClassM {
+		t.Fatalf("class = %s", r.Class())
+	}
+}
+
+func TestPayloadDominates(t *testing.T) {
+	m := NewMeter()
+	m.Observe(ChFrameMeta, 1500)
+	m.Observe(ChPayload, 1400)
+	r := m.Report()
+	if r.Class() != ClassXL {
+		t.Fatalf("class = %s", r.Class())
+	}
+	if r.Score() < 10 {
+		t.Fatalf("score = %v", r.Score())
+	}
+}
+
+func TestCallPatternClass(t *testing.T) {
+	m := NewMeter()
+	m.Observe(ChCallPattern, 0)
+	if c := m.Report().Class(); c != ClassL {
+		t.Fatalf("call-pattern-only class = %s", c)
+	}
+	m.Observe(ChSocketMeta, 0)
+	if c := m.Report().Class(); c != ClassXL {
+		t.Fatalf("syscall-boundary class = %s", c)
+	}
+}
+
+func TestTunnelHidesTraffic(t *testing.T) {
+	m := NewMeter()
+	for i := 0; i < 10; i++ {
+		m.Observe(ChTunnelOuter, 1600)
+	}
+	r := m.Report()
+	if !r.HidesTraffic() {
+		t.Fatal("tunnel run should hide traffic")
+	}
+	if r.Class() != ClassS {
+		t.Fatalf("class = %s", r.Class())
+	}
+	// Mixed: inner frames visible -> no hiding credit.
+	m.Observe(ChFrameMeta, 1500)
+	if m.Report().HidesTraffic() {
+		t.Fatal("frame metadata present but traffic claimed hidden")
+	}
+}
+
+func TestClassOrderingMatchesFigure5(t *testing.T) {
+	// tunnel < L2 < syscall-L5 < plaintext-host
+	tunnel, l2, l5, plain := NewMeter(), NewMeter(), NewMeter(), NewMeter()
+	tunnel.Observe(ChTunnelOuter, 1600)
+	l2.Observe(ChFrameMeta, 1500)
+	l5.Observe(ChCallPattern, 0)
+	plain.Observe(ChPayload, 1400)
+	got := []Class{tunnel.Report().Class(), l2.Report().Class(), l5.Report().Class(), plain.Report().Class()}
+	want := []Class{ClassS, ClassM, ClassL, ClassXL}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ordering: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	m := NewMeter()
+	m.Observe(ChPayload, 7)
+	s := m.Report().String()
+	if !strings.Contains(s, "payload:1(7B)") || !strings.Contains(s, "XL") {
+		t.Fatalf("String = %q", s)
+	}
+	m.Reset()
+	if len(m.Report().Counts) != 0 {
+		t.Fatal("reset failed")
+	}
+	if Channel(99).String() == "" {
+		t.Fatal("unknown channel string")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Observe(ChFrameMeta, 64)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Report().Counts[ChFrameMeta] != 8000 {
+		t.Fatal("lost updates")
+	}
+}
+
+func TestEmptyReportScore(t *testing.T) {
+	if NewMeter().Report().Score() != 0 {
+		t.Fatal("empty score")
+	}
+}

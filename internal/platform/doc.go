@@ -1,0 +1,27 @@
+// Package platform simulates the confidential-computing platform that the
+// paper's designs run on: the trust domains of Figure 1 (confidential
+// workload, untrusted host software, host hardware), the boundary
+// crossings between them, and revocable shared-memory windows.
+//
+// Since no TEE hardware is available to this reproduction, the platform
+// makes all the quantities the paper reasons about *explicit and
+// countable* instead of implicit in hardware:
+//
+//   - Meter counts every boundary event on the I/O path — TEE world
+//     switches, intra-TEE compartment gate crossings, bytes copied across
+//     the boundary, validation checks, notifications, crypto bytes, and
+//     page share/revoke operations.
+//
+//   - CostParams assigns a nanosecond weight to each event class,
+//     calibrated against publicly reported magnitudes (SGX ocall ≈ µs,
+//     MPK-style gate ≈ 100 ns, memcpy ≈ tens of GB/s, EPT/TLB page
+//     revocation ≈ µs). Costs.ModelNanos turns a counter snapshot into a
+//     modelled time, so experiments report both real wall-clock time of
+//     the simulation and modelled time of the modelled hardware.
+//
+//   - Window is a page-granular shared-memory window whose pages the
+//     guest can *revoke* (un-share) from the host on the fly — the
+//     mechanism §3.2 proposes for eliminating receive copies. Host access
+//     to a revoked page is a fault, which the attack harness uses to
+//     verify revocation actually closes the double-fetch window.
+package platform

@@ -1,0 +1,198 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"confio/internal/shmem"
+)
+
+// PageSize is the granularity at which windows can be shared and revoked,
+// matching the 4 KiB granularity of the page-table/RMP mechanisms the
+// paper's revocation idea relies on.
+const PageSize = 4096
+
+// ErrRevoked is the fault a host-side access takes when it touches a page
+// the guest has un-shared. In real hardware this would be an RMP/EPT
+// violation; the simulation surfaces it as an error the device model must
+// handle (an honest host never sees it; a malicious one proves the
+// mechanism works).
+var ErrRevoked = errors.New("platform: page revoked from host")
+
+// Window is a page-granular shared-memory window between the guest TEE
+// and the host. The guest side always has access; the host side only to
+// pages currently shared. Revocation is the paper's §3.2 alternative to
+// receive-side copies: the guest un-shares the page under a received
+// buffer instead of copying it out, closing the double-fetch window.
+type Window struct {
+	region *shmem.Region
+	meter  *Meter
+	pages  int
+
+	mu     sync.RWMutex
+	shared []bool
+}
+
+// NewWindow builds a window of size bytes (power of two, multiple of
+// PageSize) with every page initially shared. The meter may be nil.
+func NewWindow(size int, meter *Meter) (*Window, error) {
+	if size < PageSize || size%PageSize != 0 {
+		return nil, fmt.Errorf("platform: window size %d not a multiple of page size %d", size, PageSize)
+	}
+	r, err := shmem.NewRegion(size)
+	if err != nil {
+		return nil, err
+	}
+	w := &Window{region: r, meter: meter, pages: size / PageSize}
+	w.shared = make([]bool, w.pages)
+	for i := range w.shared {
+		w.shared[i] = true
+	}
+	meter.Share(w.pages)
+	return w, nil
+}
+
+// Region returns the backing region. Guest-side code uses it directly:
+// the guest always has access to its own memory.
+func (w *Window) Region() *shmem.Region { return w.region }
+
+// Pages returns the number of pages in the window.
+func (w *Window) Pages() int { return w.pages }
+
+// pageOf masks the offset and returns the containing page index.
+func (w *Window) pageOf(off uint64) int {
+	return int((off & w.region.Mask()) / PageSize)
+}
+
+// Revoke un-shares the pages covering [off, off+n) from the host. It is
+// idempotent; the meter counts only pages whose state actually changed.
+func (w *Window) Revoke(off uint64, n int) {
+	w.setShared(off, n, false)
+}
+
+// Reshare makes the pages covering [off, off+n) host-visible again.
+func (w *Window) Reshare(off uint64, n int) {
+	w.setShared(off, n, true)
+}
+
+func (w *Window) setShared(off uint64, n int, val bool) {
+	if n <= 0 {
+		return
+	}
+	first := w.pageOf(off)
+	last := w.pageOf(off + uint64(n) - 1)
+	changed := 0
+	w.mu.Lock()
+	for p := first; ; p = (p + 1) % w.pages {
+		if w.shared[p] != val {
+			w.shared[p] = val
+			changed++
+		}
+		if p == last {
+			break
+		}
+	}
+	w.mu.Unlock()
+	if val {
+		w.meter.Share(changed)
+	} else {
+		w.meter.Revoke(changed)
+	}
+}
+
+// SharedPages returns how many pages are currently shared with the host.
+func (w *Window) SharedPages() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	n := 0
+	for _, s := range w.shared {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// hostCheck verifies that every page covering [off, off+n) is shared.
+func (w *Window) hostCheck(off uint64, n int) error {
+	if n <= 0 {
+		n = 1
+	}
+	first := w.pageOf(off)
+	last := w.pageOf(off + uint64(n) - 1)
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for p := first; ; p = (p + 1) % w.pages {
+		if !w.shared[p] {
+			return fmt.Errorf("%w: page %d", ErrRevoked, p)
+		}
+		if p == last {
+			break
+		}
+	}
+	return nil
+}
+
+// HostView returns the host's faulting view of the window.
+func (w *Window) HostView() *HostView { return &HostView{w: w} }
+
+// HostView accesses a window subject to per-page sharing state. Every
+// accessor returns ErrRevoked when it touches an un-shared page.
+type HostView struct {
+	w *Window
+}
+
+// ReadAt copies out len(dst) bytes at the masked offset if all covered
+// pages are shared.
+func (h *HostView) ReadAt(dst []byte, off uint64) error {
+	if err := h.w.hostCheck(off, len(dst)); err != nil {
+		return err
+	}
+	h.w.region.ReadAt(dst, off)
+	return nil
+}
+
+// WriteAt copies src in at the masked offset if all covered pages are
+// shared.
+func (h *HostView) WriteAt(src []byte, off uint64) error {
+	if err := h.w.hostCheck(off, len(src)); err != nil {
+		return err
+	}
+	h.w.region.WriteAt(src, off)
+	return nil
+}
+
+// U32 loads a uint32, faulting on revoked pages.
+func (h *HostView) U32(off uint64) (uint32, error) {
+	if err := h.w.hostCheck(off, 4); err != nil {
+		return 0, err
+	}
+	return h.w.region.U32(off), nil
+}
+
+// SetU32 stores a uint32, faulting on revoked pages.
+func (h *HostView) SetU32(off uint64, v uint32) error {
+	if err := h.w.hostCheck(off, 4); err != nil {
+		return err
+	}
+	h.w.region.SetU32(off, v)
+	return nil
+}
+
+// U64 loads a uint64, faulting on revoked pages.
+func (h *HostView) U64(off uint64) (uint64, error) {
+	if err := h.w.hostCheck(off, 8); err != nil {
+		return 0, err
+	}
+	return h.w.region.U64(off), nil
+}
+
+// SetU64 stores a uint64, faulting on revoked pages.
+func (h *HostView) SetU64(off uint64, v uint64) error {
+	if err := h.w.hostCheck(off, 8); err != nil {
+		return err
+	}
+	h.w.region.SetU64(off, v)
+	return nil
+}

@@ -1,0 +1,90 @@
+package safering
+
+import (
+	"errors"
+
+	"confio/internal/nic"
+)
+
+// GuestNIC adapts an Endpoint to the transport-neutral nic.Guest contract.
+type GuestNIC struct {
+	EP *Endpoint
+}
+
+// NIC returns the endpoint's nic.Guest view.
+func (e *Endpoint) NIC() nic.Guest { return &GuestNIC{EP: e} }
+
+// Send implements nic.Guest.
+func (g *GuestNIC) Send(frame []byte) error {
+	switch err := g.EP.Send(frame); {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrRingFull):
+		return nic.ErrFull
+	case errors.Is(err, ErrDead):
+		return nic.ErrClosed
+	default:
+		return err
+	}
+}
+
+// Recv implements nic.Guest.
+func (g *GuestNIC) Recv() (nic.Frame, error) {
+	rx, err := g.EP.Recv()
+	switch {
+	case err == nil:
+		return rx, nil
+	case errors.Is(err, ErrRingEmpty):
+		return nil, nic.ErrEmpty
+	case errors.Is(err, ErrDead):
+		return nil, nic.ErrClosed
+	default:
+		return nil, err
+	}
+}
+
+// MAC implements nic.Guest.
+func (g *GuestNIC) MAC() [6]byte { return g.EP.Config().MAC }
+
+// MTU implements nic.Guest.
+func (g *GuestNIC) MTU() int { return g.EP.Config().MTU }
+
+// HostNIC adapts a HostPort to the nic.Host contract.
+type HostNIC struct {
+	HP *HostPort
+}
+
+// NIC returns the host port's nic.Host view.
+func (h *HostPort) NIC() nic.Host { return &HostNIC{HP: h} }
+
+// Pop implements nic.Host.
+func (h *HostNIC) Pop(buf []byte) (int, error) {
+	n, err := h.HP.Pop(buf)
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, ErrRingEmpty):
+		return 0, nic.ErrEmpty
+	case errors.Is(err, ErrDead):
+		return 0, nic.ErrClosed
+	default:
+		return 0, err
+	}
+}
+
+// Push implements nic.Host.
+func (h *HostNIC) Push(frame []byte) error {
+	switch err := h.HP.Push(frame); {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrRingFull):
+		return nic.ErrFull
+	case errors.Is(err, ErrDead):
+		return nic.ErrClosed
+	default:
+		return err
+	}
+}
+
+// FrameCap implements nic.Host.
+func (h *HostNIC) FrameCap() int { return h.HP.Shared().Cfg.FrameCap() }

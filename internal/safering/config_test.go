@@ -1,0 +1,78 @@
+package safering
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*DeviceConfig)
+	}{
+		{"tiny mtu", func(c *DeviceConfig) { c.MTU = 10 }},
+		{"huge mtu", func(c *DeviceConfig) { c.MTU = 1 << 20 }},
+		{"non-pow2 slots", func(c *DeviceConfig) { c.Slots = 100 }},
+		{"one slot", func(c *DeviceConfig) { c.Slots = 1 }},
+		{"non-pow2 slot size", func(c *DeviceConfig) { c.SlotSize = 1000 }},
+		{"tiny slot size", func(c *DeviceConfig) { c.SlotSize = 32 }},
+		{"bad mode", func(c *DeviceConfig) { c.Mode = DataMode(9) }},
+		{"bad rx policy", func(c *DeviceConfig) { c.RX = RXPolicy(9) }},
+		{"inline slot too small for mtu", func(c *DeviceConfig) { c.SlotSize = 1024 }},
+		{"revoke without shared area", func(c *DeviceConfig) { c.RX = Revoke; c.Mode = Inline }},
+		{"bad segments", func(c *DeviceConfig) { c.Mode = Indirect; c.SlotSize = 64; c.Segments = 3 }},
+		{"too many segments", func(c *DeviceConfig) { c.Mode = Indirect; c.SlotSize = 64; c.Segments = 128 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			if err := c.Validate(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestConfigStringers(t *testing.T) {
+	if Inline.String() != "inline" || SharedArea.String() != "shared-area" || Indirect.String() != "indirect" {
+		t.Error("DataMode.String wrong")
+	}
+	if !strings.Contains(DataMode(9).String(), "DataMode") {
+		t.Error("unknown DataMode.String wrong")
+	}
+	if CopyOut.String() != "copy" || Revoke.String() != "revoke" {
+		t.Error("RXPolicy.String wrong")
+	}
+	m := MAC{0x02, 0, 0, 0xC1, 0x0A, 0x01}
+	if m.String() != "02:00:00:c1:0a:01" {
+		t.Errorf("MAC.String = %q", m.String())
+	}
+}
+
+func TestFrameCap(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.FrameCap(); got != c.SlotSize-DescSize {
+		t.Errorf("inline FrameCap = %d", got)
+	}
+	c.Mode = SharedArea
+	if got := c.FrameCap(); got != c.MTU+HeaderSlack {
+		t.Errorf("shared FrameCap = %d", got)
+	}
+}
+
+func TestIndEntrySize(t *testing.T) {
+	for _, tc := range []struct{ segs, want int }{{1, 32}, {2, 64}, {4, 128}, {8, 256}, {64, 2048}} {
+		if got := indEntrySize(tc.segs); got != tc.want {
+			t.Errorf("indEntrySize(%d) = %d, want %d", tc.segs, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package safering
+
+import "confio/internal/platform"
+
+// Doorbell is the optional notification primitive (§3.2 principle 3:
+// prefer polling; when notifications are unavoidable, make the handler
+// stateless, idempotent, and thread-safe).
+//
+// A doorbell carries no data and no count: it is a coalescing edge
+// trigger. Ringing an already-rung doorbell is a no-op, so replayed or
+// spurious notifications from a malicious peer can at most cause one
+// wasted poll of the (independently validated) ring — they cannot create
+// state confusion. Waiting drains the trigger and the waiter then polls
+// the ring until empty, so a lost wake while processing is also harmless.
+type Doorbell struct {
+	ch    chan struct{}
+	meter *platform.Meter
+}
+
+// NewDoorbell returns an unarmed doorbell; meter may be nil.
+func NewDoorbell(meter *platform.Meter) *Doorbell {
+	return &Doorbell{ch: make(chan struct{}, 1), meter: meter}
+}
+
+// Ring arms the doorbell. Safe from any goroutine; never blocks.
+// Each ring is a boundary notification in the cost model (interrupt
+// injection / doorbell MMIO exit).
+func (d *Doorbell) Ring() {
+	d.meter.Notify(1)
+	select {
+	case d.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until the doorbell has been rung since the last Wait.
+func (d *Doorbell) Wait() { <-d.ch }
+
+// TryWait reports whether the doorbell was rung, without blocking.
+func (d *Doorbell) TryWait() bool {
+	select {
+	case <-d.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Chan exposes the trigger for select loops.
+func (d *Doorbell) Chan() <-chan struct{} { return d.ch }

@@ -1,0 +1,349 @@
+package safering
+
+import (
+	"fmt"
+	"sync"
+
+	"confio/internal/platform"
+	"confio/internal/shmem"
+)
+
+// Descriptor Kind values. The mode is fixed at deployment; the kind is
+// still carried in every descriptor so that a mismatch is detectable
+// (auditability), not because the receiver switches behaviour on it.
+const (
+	KindInline   = 0
+	KindShared   = 1
+	KindIndirect = 2
+)
+
+// Endpoint is the guest-TEE side of a safe NIC instance. It is safe for
+// concurrent use; internally one mutex serializes TX state and another RX
+// state, matching one queue pair.
+//
+// Endpoint trusts nothing it reads from shared memory: every peer index
+// is bounds/monotonicity-checked, every descriptor is snapshotted once
+// and validated, and any violation is fatal (ErrProtocol wrapped), after
+// which all operations return ErrDead. There are no recoverable interface
+// errors and no renegotiation — the stateless principle.
+type Endpoint struct {
+	sh    *Shared
+	meter *platform.Meter
+
+	mu   sync.Mutex
+	dead error
+
+	// TX private state (never derived from shared memory).
+	txHead     uint64
+	txConsSeen uint64
+	txFreed    uint64
+	txHandles  [][]shmem.Handle
+
+	// RX private state.
+	rxTail     uint64
+	rxFreeHead uint64
+	slabHeld   []bool // true while the host holds the slab
+
+	pool sync.Pool
+}
+
+// New constructs the guest endpoint and all shared device state for cfg.
+// The meter may be nil.
+func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
+	sh, err := newShared(cfg, meter)
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{sh: sh, meter: meter}
+	e.txHandles = make([][]shmem.Handle, cfg.Slots)
+	e.pool.New = func() any { return make([]byte, cfg.FrameCap()) }
+
+	if cfg.Mode != Inline {
+		e.slabHeld = make([]bool, cfg.Slots)
+		// Post every receive slab to the host up front.
+		for slab := 0; slab < cfg.Slots; slab++ {
+			e.postSlab(slab)
+		}
+	}
+	return e, nil
+}
+
+// Shared exposes the host-visible state; the device model (or the attack
+// harness) drives the other side through it. After a Swap it returns the
+// new instance.
+func (e *Endpoint) Shared() *Shared {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sh
+}
+
+// Config returns the immutable device configuration.
+func (e *Endpoint) Config() DeviceConfig { return e.sh.Cfg }
+
+// Dead returns the fatal error that killed the endpoint, if any.
+func (e *Endpoint) Dead() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}
+
+// fail records the first fatal violation; later calls keep the original.
+func (e *Endpoint) fail(err error) error {
+	if e.dead == nil {
+		e.dead = err
+	}
+	return e.dead
+}
+
+// Send enqueues one Ethernet frame for transmission. It never blocks:
+// ErrRingFull asks the caller to retry after the host makes progress.
+// Completed transmit buffers are reaped on every call.
+func (e *Endpoint) Send(frame []byte) error {
+	if len(frame) > e.sh.Cfg.FrameCap() {
+		return fmt.Errorf("%w: %d > %d", ErrFrameSize, len(frame), e.sh.Cfg.FrameCap())
+	}
+	if len(frame) == 0 {
+		return fmt.Errorf("%w: empty frame", ErrFrameSize)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return ErrDead
+	}
+	cons, err := e.reapLocked()
+	if err != nil {
+		return err
+	}
+	if e.txHead-cons >= e.sh.TX.NSlots() {
+		return ErrRingFull
+	}
+
+	var d Desc
+	switch e.sh.Cfg.Mode {
+	case Inline:
+		e.sh.TX.WriteInline(e.txHead, frame)
+		e.meter.Copy(len(frame))
+		d = Desc{Len: uint32(len(frame)), Kind: KindInline}
+	case SharedArea:
+		h, aerr := e.sh.TXData.Alloc()
+		if aerr != nil {
+			return ErrRingFull
+		}
+		if werr := e.sh.TXData.Write(h, frame); werr != nil {
+			return fmt.Errorf("safering: tx stage: %w", werr)
+		}
+		e.meter.Copy(len(frame))
+		e.txHandles[e.txHead&(e.sh.TX.NSlots()-1)] = []shmem.Handle{h}
+		d = Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(h)}
+	case Indirect:
+		var derr error
+		d, derr = e.stageIndirectLocked(frame)
+		if derr != nil {
+			return derr
+		}
+	}
+
+	e.sh.TX.WriteDesc(e.txHead, d)
+	e.txHead++
+	e.sh.TX.Indexes().StoreProd(e.txHead)
+	if e.sh.TXBell != nil {
+		e.sh.TXBell.Ring()
+	}
+	return nil
+}
+
+// stageIndirectLocked splits the frame into data-area segments and fills
+// the indirect table entry for the current head slot.
+func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
+	segCap := e.sh.TXData.SlabSize()
+	nseg := (len(frame) + segCap - 1) / segCap
+	if nseg > e.sh.Cfg.Segments {
+		return Desc{}, fmt.Errorf("%w: needs %d segments > %d", ErrFrameSize, nseg, e.sh.Cfg.Segments)
+	}
+	handles := make([]shmem.Handle, 0, nseg)
+	free := func() {
+		for _, h := range handles {
+			_ = e.sh.TXData.HandleFree(shmem.FreeMsg{H: h})
+		}
+	}
+	idx := e.txHead & (e.sh.TX.NSlots() - 1)
+	entry := idx * uint64(indEntrySize(e.sh.Cfg.Segments))
+	for j := 0; j < nseg; j++ {
+		h, err := e.sh.TXData.Alloc()
+		if err != nil {
+			free()
+			return Desc{}, ErrRingFull
+		}
+		handles = append(handles, h)
+		seg := frame[j*segCap : min((j+1)*segCap, len(frame))]
+		if err := e.sh.TXData.Write(h, seg); err != nil {
+			free()
+			return Desc{}, fmt.Errorf("safering: indirect stage: %w", err)
+		}
+		e.meter.Copy(len(seg))
+		segOff := entry + 16 + uint64(j)*16
+		e.sh.TXInd.SetU64(segOff, uint64(h))
+		e.sh.TXInd.SetU64(segOff+8, uint64(len(seg)))
+	}
+	e.sh.TXInd.SetU64(entry, uint64(nseg))
+	e.txHandles[idx] = handles
+	return Desc{Len: uint32(len(frame)), Kind: KindIndirect, Ref: idx}, nil
+}
+
+// reapLocked observes the host's TX consumer index, validates it, and
+// frees the data slabs of every newly consumed slot. It returns the
+// validated consumer index.
+func (e *Endpoint) reapLocked() (uint64, error) {
+	cons := e.sh.TX.Indexes().LoadCons()
+	e.meter.Check(1)
+	if err := e.sh.TX.checkPeerCons(cons, e.txHead, e.txConsSeen); err != nil {
+		return 0, e.fail(err)
+	}
+	e.txConsSeen = cons
+	for ; e.txFreed < cons; e.txFreed++ {
+		idx := e.txFreed & (e.sh.TX.NSlots() - 1)
+		for _, h := range e.txHandles[idx] {
+			// The handle came from our private record, so a free failure
+			// means our own state is corrupt — fatal.
+			if err := e.sh.TXData.HandleFree(shmem.FreeMsg{H: h}); err != nil {
+				return 0, e.fail(fmt.Errorf("%w: tx slab free: %v", ErrProtocol, err))
+			}
+		}
+		e.txHandles[idx] = nil
+	}
+	return cons, nil
+}
+
+// Reap frees completed transmit buffers without sending. Callers that
+// stop sending but want timely slab reuse may call it periodically.
+func (e *Endpoint) Reap() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return ErrDead
+	}
+	_, err := e.reapLocked()
+	return err
+}
+
+// RxFrame is one received Ethernet frame. Bytes stays valid until
+// Release. Depending on policy the bytes are a private copy (CopyOut) or
+// a revoked — host-inaccessible — shared page used in place (Revoke).
+type RxFrame struct {
+	ep      *Endpoint
+	sh      *Shared // device instance the frame came from (hot-swap safety)
+	data    []byte
+	pooled  []byte // backing array to return to the pool, if any
+	slab    int    // revoked slab to re-share on release, or -1
+	release bool
+}
+
+// Bytes returns the frame contents.
+func (f *RxFrame) Bytes() []byte { return f.data }
+
+// Release returns the frame's backing storage (pool buffer or revoked
+// page) for reuse. It is idempotent.
+func (f *RxFrame) Release() {
+	if f.release {
+		return
+	}
+	f.release = true
+	if f.pooled != nil {
+		f.ep.pool.Put(f.pooled[:cap(f.pooled)])
+		f.pooled = nil
+	}
+	if f.slab >= 0 {
+		f.ep.mu.Lock()
+		// After a hot-swap the old device instance is gone and the new
+		// one already has every slab posted; only release into the
+		// instance the frame came from.
+		if f.ep.sh == f.sh {
+			f.ep.sh.RXData.Reshare(uint64(f.slab)*platform.PageSize, platform.PageSize)
+			f.ep.postSlab(f.slab)
+		}
+		f.ep.mu.Unlock()
+	}
+	f.data = nil
+}
+
+// postSlab publishes one empty receive slab to the host. Caller holds
+// e.mu (or is the constructor).
+func (e *Endpoint) postSlab(slab int) {
+	e.slabHeld[slab] = true
+	e.sh.RXFree.WriteDesc(e.rxFreeHead, Desc{Len: platform.PageSize, Kind: KindShared, Ref: uint64(slab)})
+	e.rxFreeHead++
+	e.sh.RXFree.Indexes().StoreProd(e.rxFreeHead)
+}
+
+// Recv returns the next received frame, or ErrRingEmpty. The descriptor
+// is snapshotted once and fully validated before any payload access; the
+// payload crosses into guest-private custody by exactly one early copy or
+// by page revocation, per the configured policy.
+func (e *Endpoint) Recv() (*RxFrame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return nil, ErrDead
+	}
+	prod := e.sh.RXUsed.Indexes().LoadProd()
+	e.meter.Check(1)
+	avail, err := e.sh.RXUsed.checkPeerProd(prod, e.rxTail)
+	if err != nil {
+		return nil, e.fail(err)
+	}
+	if avail == 0 {
+		return nil, ErrRingEmpty
+	}
+
+	d := e.sh.RXUsed.ReadDesc(e.rxTail) // single snapshot
+	e.meter.Check(1)
+
+	switch e.sh.Cfg.Mode {
+	case Inline:
+		if int(d.Len) > e.sh.RXUsed.InlineCap() || int(d.Len) > e.sh.Cfg.FrameCap() || d.Len == 0 {
+			return nil, e.fail(fmt.Errorf("%w: rx inline length %d", ErrProtocol, d.Len))
+		}
+		buf := e.pool.Get().([]byte)
+		e.sh.RXUsed.ReadInline(e.rxTail, buf[:d.Len])
+		e.meter.Copy(int(d.Len))
+		e.rxTail++
+		e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
+		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
+
+	default:
+		if int(d.Len) > e.sh.Cfg.FrameCap() || d.Len == 0 {
+			return nil, e.fail(fmt.Errorf("%w: rx length %d", ErrProtocol, d.Len))
+		}
+		slab := int(d.Ref & uint64(e.sh.Cfg.Slots-1))
+		e.meter.Check(1)
+		if !e.slabHeld[slab] {
+			// The host returned a slab it does not hold: replayed or
+			// duplicated completion. Fatal.
+			return nil, e.fail(fmt.Errorf("%w: rx returned unposted slab %d", ErrProtocol, slab))
+		}
+		e.slabHeld[slab] = false
+		off := uint64(slab) * platform.PageSize
+
+		if e.sh.Cfg.RX == Revoke {
+			// Un-share first, then read: after Revoke the host cannot
+			// rewrite the bytes, so in-place use is single-fetch-safe.
+			e.sh.RXData.Revoke(off, platform.PageSize)
+			data := e.sh.RXData.Region().Slice(off, int(d.Len))
+			e.rxTail++
+			e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
+			return &RxFrame{ep: e, sh: e.sh, data: data, slab: slab}, nil
+		}
+
+		buf := e.pool.Get().([]byte)
+		e.sh.RXData.Region().ReadAt(buf[:d.Len], off)
+		e.meter.Copy(int(d.Len))
+		e.postSlab(slab)
+		e.rxTail++
+		e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
+		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
+	}
+}
+
+// RXBell returns the doorbell the host rings when frames arrive, or nil
+// in polling mode. Guest receive loops may select on its channel.
+func (e *Endpoint) RXBell() *Doorbell { return e.sh.RXBell }

@@ -1,0 +1,190 @@
+package safering
+
+import (
+	"fmt"
+	"sync"
+
+	"confio/internal/platform"
+	"confio/internal/shmem"
+)
+
+// HostPort is the honest host-side device model: it consumes guest
+// transmit descriptors and produces receive descriptors, exactly as a
+// well-behaved paravirtual backend would.
+//
+// The trust relationship is mutual distrust, so the host validates
+// everything it reads from shared memory just as the guest does: indexes
+// for monotonicity and bounds, descriptor lengths against the fixed
+// geometry. A violation poisons the port (the real-world analogue is the
+// host killing the VM).
+type HostPort struct {
+	sh *Shared
+
+	mu   sync.Mutex
+	dead error
+
+	txTail     uint64 // consumer position on TX
+	rxHead     uint64 // producer position on RXUsed
+	rxConsSeen uint64
+	rxFreeTail uint64 // consumer position on RXFree
+}
+
+// NewHostPort attaches an honest device model to the shared state.
+func NewHostPort(sh *Shared) *HostPort { return &HostPort{sh: sh} }
+
+// Shared returns the device state this port drives.
+func (h *HostPort) Shared() *Shared { return h.sh }
+
+// Dead returns the violation that poisoned the port, if any.
+func (h *HostPort) Dead() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dead
+}
+
+func (h *HostPort) fail(err error) error {
+	if h.dead == nil {
+		h.dead = err
+	}
+	return h.dead
+}
+
+// Pop dequeues the next guest transmit frame into buf and returns its
+// length, or ErrRingEmpty. buf must be at least FrameCap bytes.
+func (h *HostPort) Pop(buf []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return 0, ErrDead
+	}
+	prod := h.sh.TX.Indexes().LoadProd()
+	avail, err := h.sh.TX.checkPeerProd(prod, h.txTail)
+	if err != nil {
+		return 0, h.fail(err)
+	}
+	if avail == 0 {
+		return 0, ErrRingEmpty
+	}
+	d := h.sh.TX.ReadDesc(h.txTail) // single snapshot
+	n, err := h.gather(d, buf)
+	if err != nil {
+		return 0, h.fail(err)
+	}
+	h.txTail++
+	h.sh.TX.Indexes().StoreCons(h.txTail)
+	return n, nil
+}
+
+// gather copies the frame named by a (snapshotted) TX descriptor into buf.
+func (h *HostPort) gather(d Desc, buf []byte) (int, error) {
+	if d.Len == 0 || int(d.Len) > h.sh.Cfg.FrameCap() || int(d.Len) > len(buf) {
+		return 0, fmt.Errorf("%w: tx descriptor length %d", ErrProtocol, d.Len)
+	}
+	switch h.sh.Cfg.Mode {
+	case Inline:
+		if d.Kind != KindInline || int(d.Len) > h.sh.TX.InlineCap() {
+			return 0, fmt.Errorf("%w: bad inline tx descriptor %+v", ErrProtocol, d)
+		}
+		h.sh.TX.ReadInline(h.txTail, buf[:d.Len])
+		return int(d.Len), nil
+
+	case SharedArea:
+		if d.Kind != KindShared || int(d.Len) > h.sh.TXData.SlabSize() {
+			return 0, fmt.Errorf("%w: bad shared tx descriptor %+v", ErrProtocol, d)
+		}
+		off := h.sh.TXData.PeerOffset(shmem.Handle(d.Ref))
+		h.sh.TXData.Region().ReadAt(buf[:d.Len], off)
+		return int(d.Len), nil
+
+	case Indirect:
+		if d.Kind != KindIndirect {
+			return 0, fmt.Errorf("%w: bad indirect tx descriptor %+v", ErrProtocol, d)
+		}
+		entrySize := uint64(indEntrySize(h.sh.Cfg.Segments))
+		entry := (d.Ref & (h.sh.TX.NSlots() - 1)) * entrySize
+		nseg := h.sh.TXInd.U64(entry)
+		if nseg == 0 || nseg > uint64(h.sh.Cfg.Segments) {
+			return 0, fmt.Errorf("%w: indirect segment count %d", ErrProtocol, nseg)
+		}
+		total := 0
+		for j := uint64(0); j < nseg; j++ {
+			segOff := entry + 16 + j*16
+			ref := h.sh.TXInd.U64(segOff)
+			segLen := h.sh.TXInd.U64(segOff + 8)
+			if segLen == 0 || segLen > uint64(h.sh.TXData.SlabSize()) || total+int(segLen) > int(d.Len) {
+				return 0, fmt.Errorf("%w: indirect segment %d length %d", ErrProtocol, j, segLen)
+			}
+			off := h.sh.TXData.PeerOffset(shmem.Handle(ref))
+			h.sh.TXData.Region().ReadAt(buf[total:total+int(segLen)], off)
+			total += int(segLen)
+		}
+		if total != int(d.Len) {
+			return 0, fmt.Errorf("%w: indirect segments sum %d != descriptor length %d", ErrProtocol, total, d.Len)
+		}
+		return total, nil
+	}
+	return 0, fmt.Errorf("%w: unknown mode", ErrProtocol)
+}
+
+// Push delivers one frame toward the guest, or returns ErrRingFull when
+// the guest has no receive capacity (the device drops; DoS is out of the
+// threat model).
+func (h *HostPort) Push(frame []byte) error {
+	if len(frame) == 0 || len(frame) > h.sh.Cfg.FrameCap() {
+		return fmt.Errorf("%w: push of %d bytes", ErrFrameSize, len(frame))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return ErrDead
+	}
+
+	cons := h.sh.RXUsed.Indexes().LoadCons()
+	if err := h.sh.RXUsed.checkPeerCons(cons, h.rxHead, h.rxConsSeen); err != nil {
+		return h.fail(err)
+	}
+	h.rxConsSeen = cons
+	if h.rxHead-cons >= h.sh.RXUsed.NSlots() {
+		return ErrRingFull
+	}
+
+	if h.sh.Cfg.Mode == Inline {
+		h.sh.RXUsed.WriteInline(h.rxHead, frame)
+		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindInline})
+	} else {
+		slab, err := h.popFreeSlab()
+		if err != nil {
+			return err
+		}
+		off := uint64(slab) * platform.PageSize
+		if err := h.sh.RXData.HostView().WriteAt(frame, off); err != nil {
+			// The guest revoked a slab it posted as free: from the
+			// honest host's perspective that is a guest protocol bug.
+			return h.fail(fmt.Errorf("%w: rx slab %d: %v", ErrProtocol, slab, err))
+		}
+		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(slab)})
+	}
+	h.rxHead++
+	h.sh.RXUsed.Indexes().StoreProd(h.rxHead)
+	if h.sh.RXBell != nil {
+		h.sh.RXBell.Ring()
+	}
+	return nil
+}
+
+// popFreeSlab consumes the next guest-posted receive slab.
+func (h *HostPort) popFreeSlab() (int, error) {
+	prod := h.sh.RXFree.Indexes().LoadProd()
+	avail, err := h.sh.RXFree.checkPeerProd(prod, h.rxFreeTail)
+	if err != nil {
+		return 0, h.fail(err)
+	}
+	if avail == 0 {
+		return 0, ErrRingFull
+	}
+	d := h.sh.RXFree.ReadDesc(h.rxFreeTail)
+	slab := int(d.Ref & uint64(h.sh.Cfg.Slots-1))
+	h.rxFreeTail++
+	h.sh.RXFree.Indexes().StoreCons(h.rxFreeTail)
+	return slab, nil
+}

@@ -1,0 +1,167 @@
+package safering
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"confio/internal/shmem"
+)
+
+// DescSize is the fixed descriptor size. A descriptor is self-contained:
+// Len (payload bytes), Kind (payload position discriminator, fixed per
+// deployment but carried for auditability), Ref (masked handle / unused).
+const DescSize = 16
+
+// Desc is the wire descriptor. It is always snapshotted out of shared
+// memory in one read before any field is interpreted (single fetch).
+type Desc struct {
+	Len  uint32
+	Kind uint32
+	Ref  uint64
+}
+
+// ErrProtocol is a fatal peer-protocol violation. Per the stateless
+// principle there are no recoverable interface errors: an endpoint that
+// observes a violation marks itself dead and refuses further I/O.
+var ErrProtocol = errors.New("safering: fatal protocol violation")
+
+// ErrRingFull is returned by non-blocking send when the ring has no room.
+var ErrRingFull = errors.New("safering: ring full")
+
+// ErrRingEmpty is returned by non-blocking receive when no frame waits.
+var ErrRingEmpty = errors.New("safering: ring empty")
+
+// ErrFrameSize rejects frames beyond the deployment-fixed capacity.
+var ErrFrameSize = errors.New("safering: frame exceeds configured capacity")
+
+// ErrDead is returned after a fatal violation killed the endpoint.
+var ErrDead = errors.New("safering: endpoint is dead after protocol violation")
+
+// Indexes is the shared index pair of one SPSC ring. In hardware these
+// are two cache lines of the shared window; here they are atomics so the
+// two sides (separate goroutines) get the same publish/observe semantics
+// with defined memory ordering. Either side can store any value — a
+// malicious peer publishing garbage is exactly the attack surface the
+// masked/checked consumers are built for.
+type Indexes struct {
+	prod atomic.Uint64
+	cons atomic.Uint64
+}
+
+// LoadProd returns the producer's published position.
+func (ix *Indexes) LoadProd() uint64 { return ix.prod.Load() }
+
+// StoreProd publishes the producer position.
+func (ix *Indexes) StoreProd(v uint64) { ix.prod.Store(v) }
+
+// LoadCons returns the consumer's published position.
+func (ix *Indexes) LoadCons() uint64 { return ix.cons.Load() }
+
+// StoreCons publishes the consumer position.
+func (ix *Indexes) StoreCons(v uint64) { ix.cons.Store(v) }
+
+// Ring is one unidirectional SPSC descriptor ring: a power-of-two array
+// of fixed-size slots in shared memory plus a shared index pair. It has
+// no state beyond the two monotonic indexes (stateless principle); all
+// policy lives in the endpoints.
+type Ring struct {
+	ix       Indexes
+	slots    *shmem.Region
+	nslots   uint64
+	slotSize uint64
+}
+
+// NewRing allocates a ring with the given geometry (both powers of two).
+func NewRing(nslots, slotSize int) (*Ring, error) {
+	if nslots < 2 || nslots&(nslots-1) != 0 {
+		return nil, fmt.Errorf("safering: slot count %d not a power of two >= 2", nslots)
+	}
+	if slotSize < DescSize || slotSize&(slotSize-1) != 0 {
+		return nil, fmt.Errorf("safering: slot size %d not a power of two >= %d", slotSize, DescSize)
+	}
+	r, err := shmem.NewRegion(nslots * slotSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{slots: r, nslots: uint64(nslots), slotSize: uint64(slotSize)}, nil
+}
+
+// Indexes exposes the shared index pair (both sides use it; a malicious
+// host writes whatever it likes here).
+func (r *Ring) Indexes() *Indexes { return &r.ix }
+
+// Slots exposes the shared slot memory (again: host-writable).
+func (r *Ring) Slots() *shmem.Region { return r.slots }
+
+// NSlots returns the slot count.
+func (r *Ring) NSlots() uint64 { return r.nslots }
+
+// SlotSize returns the slot size in bytes.
+func (r *Ring) SlotSize() uint64 { return r.slotSize }
+
+// SlotOff returns the masked byte offset of the slot for position idx.
+// Any 64-bit idx maps to a valid slot — out-of-range is unrepresentable.
+func (r *Ring) SlotOff(idx uint64) uint64 {
+	return (idx & (r.nslots - 1)) * r.slotSize
+}
+
+// InlineCap is the payload capacity of one slot after the descriptor.
+func (r *Ring) InlineCap() int { return int(r.slotSize) - DescSize }
+
+// ReadDesc snapshots the descriptor at position idx in a single copy.
+func (r *Ring) ReadDesc(idx uint64) Desc {
+	off := r.SlotOff(idx)
+	var d Desc
+	d.Len = r.slots.U32(off)
+	d.Kind = r.slots.U32(off + 4)
+	d.Ref = r.slots.U64(off + 8)
+	return d
+}
+
+// WriteDesc stores the descriptor at position idx.
+func (r *Ring) WriteDesc(idx uint64, d Desc) {
+	off := r.SlotOff(idx)
+	r.slots.SetU32(off, d.Len)
+	r.slots.SetU32(off+4, d.Kind)
+	r.slots.SetU64(off+8, d.Ref)
+}
+
+// ReadInline copies n bytes of slot payload (after the descriptor) into
+// dst. n is capped to the inline capacity by construction of callers; the
+// underlying access is masked regardless.
+func (r *Ring) ReadInline(idx uint64, dst []byte) {
+	r.slots.ReadAt(dst, r.SlotOff(idx)+DescSize)
+}
+
+// WriteInline copies src into the slot payload area.
+func (r *Ring) WriteInline(idx uint64, src []byte) {
+	r.slots.WriteAt(src, r.SlotOff(idx)+DescSize)
+}
+
+// checkPeerProd validates a producer index published by the peer against
+// the local consumer position: it must not run backwards and must not
+// claim more than nslots outstanding entries. Returns the usable count.
+func (r *Ring) checkPeerProd(prod, localCons uint64) (avail uint64, err error) {
+	if prod < localCons {
+		return 0, fmt.Errorf("%w: producer index %d behind consumer %d", ErrProtocol, prod, localCons)
+	}
+	if prod-localCons > r.nslots {
+		return 0, fmt.Errorf("%w: producer index %d claims %d > %d outstanding",
+			ErrProtocol, prod, prod-localCons, r.nslots)
+	}
+	return prod - localCons, nil
+}
+
+// checkPeerCons validates a consumer index published by the peer against
+// the local producer position: it must not pass the producer and must not
+// run backwards past what was already observed.
+func (r *Ring) checkPeerCons(cons, localProd, prevCons uint64) error {
+	if cons > localProd {
+		return fmt.Errorf("%w: consumer index %d ahead of producer %d", ErrProtocol, cons, localProd)
+	}
+	if cons < prevCons {
+		return fmt.Errorf("%w: consumer index %d ran backwards from %d", ErrProtocol, cons, prevCons)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package safering
+
+import (
+	"fmt"
+
+	"confio/internal/platform"
+	"confio/internal/shmem"
+)
+
+// Shared is the complete host-visible state of one safe NIC instance:
+// the rings, the data areas, and the doorbells. An honest device model
+// drives it through HostPort; the attack harness reaches into it directly
+// — by design, because a malicious host is not limited to any API.
+type Shared struct {
+	Cfg DeviceConfig
+
+	// TX: guest produces frame descriptors, host consumes.
+	TX *Ring
+	// RXUsed: host produces filled frame descriptors, guest consumes.
+	// In Inline mode payloads ride in this ring's slots.
+	RXUsed *Ring
+	// RXFree: guest posts empty receive slabs, host consumes. Nil in
+	// Inline mode.
+	RXFree *Ring
+
+	// TXData holds transmit payload slabs (SharedArea/Indirect), named
+	// by generation-tagged handles. Nil in Inline mode.
+	TXData *shmem.Arena
+	// TXInd is the indirect segment table (Indirect mode only).
+	TXInd *shmem.Region
+	// RXData holds receive slabs, one page each, revocable (SharedArea/
+	// Indirect). Nil in Inline mode.
+	RXData *platform.Window
+
+	// TXBell is rung by the guest after publishing TX work; RXBell by
+	// the host after publishing RX frames. Nil unless Cfg.Notify.
+	TXBell *Doorbell
+	RXBell *Doorbell
+}
+
+// indEntrySize returns the power-of-two size of one indirect table entry:
+// an 8-byte segment count (padded to 16) plus Segments (off,len) pairs.
+func indEntrySize(segments int) int {
+	need := 16 + 16*segments
+	sz := 1
+	for sz < need {
+		sz <<= 1
+	}
+	return sz
+}
+
+// newShared allocates all shared state for a config. The meter is the
+// guest's: page sharing for the RX window is charged to the guest, which
+// owns the memory.
+func newShared(cfg DeviceConfig, meter *platform.Meter) (*Shared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &Shared{Cfg: cfg}
+
+	var err error
+	if sh.TX, err = NewRing(cfg.Slots, cfg.SlotSize); err != nil {
+		return nil, err
+	}
+	if sh.RXUsed, err = NewRing(cfg.Slots, cfg.SlotSize); err != nil {
+		return nil, err
+	}
+
+	if cfg.Mode != Inline {
+		// Descriptor-only rings could be smaller, but keeping the ring
+		// geometry uniform keeps offsets trivially auditable.
+		if sh.RXFree, err = NewRing(cfg.Slots, DescSize); err != nil {
+			return nil, err
+		}
+		slabSize := 1
+		for slabSize < cfg.FrameCap() {
+			slabSize <<= 1
+		}
+		slabs := cfg.Slots
+		if cfg.Mode == Indirect {
+			slabs *= cfg.Segments
+		}
+		if sh.TXData, err = shmem.NewArena(slabSize, slabs); err != nil {
+			return nil, err
+		}
+		if cfg.FrameCap() > platform.PageSize {
+			return nil, fmt.Errorf("%w: frame capacity %d exceeds one RX page", ErrConfig, cfg.FrameCap())
+		}
+		if sh.RXData, err = platform.NewWindow(cfg.Slots*platform.PageSize, meter); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode == Indirect {
+		if sh.TXInd, err = shmem.NewRegion(cfg.Slots * indEntrySize(cfg.Segments)); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Notify {
+		sh.TXBell = NewDoorbell(meter)
+		sh.RXBell = NewDoorbell(meter)
+	}
+	return sh, nil
+}

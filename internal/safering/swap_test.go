@@ -1,0 +1,214 @@
+package safering_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"confio/internal/ipv4"
+	"confio/internal/netstack"
+	"confio/internal/nic"
+	"confio/internal/safering"
+	"confio/internal/simnet"
+)
+
+func TestSwapBasics(t *testing.T) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = safering.SharedArea
+	cfg.SlotSize = 64
+	ep, err := safering.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+
+	// Traffic through the old device.
+	if err := ep.Send(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, cfg.FrameCap())
+	if _, err := hp.Pop(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	oldShared := ep.Shared()
+	newShared, err := ep.Swap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newShared == oldShared {
+		t.Fatal("swap reused the shared state")
+	}
+	if ep.Shared() != newShared {
+		t.Fatal("Shared() not updated")
+	}
+
+	// The new device works immediately, with the same fixed config.
+	hp2 := safering.NewHostPort(newShared)
+	want := []byte("post-swap frame")
+	if err := ep.Send(want); err != nil {
+		t.Fatalf("send after swap: %v", err)
+	}
+	n, err := hp2.Pop(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatal("post-swap frame corrupted")
+	}
+	if err := hp2.Push(want); err != nil {
+		t.Fatal(err)
+	}
+	rx, err := ep.Recv()
+	if err != nil || !bytes.Equal(rx.Bytes(), want) {
+		t.Fatalf("post-swap recv: %v", err)
+	}
+	rx.Release()
+}
+
+func TestSwapRevivesDeadEndpoint(t *testing.T) {
+	ep, err := safering.New(safering.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malicious host kills the endpoint.
+	ep.Shared().TX.Indexes().StoreCons(1 << 40)
+	if err := ep.Send(make([]byte, 64)); !errors.Is(err, safering.ErrProtocol) {
+		t.Fatalf("setup: %v", err)
+	}
+	if _, err := ep.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Dead() != nil {
+		t.Fatal("swap did not clear the fatal state")
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	if err := ep.Send(make([]byte, 64)); err != nil {
+		t.Fatalf("send after revival: %v", err)
+	}
+	buf := make([]byte, ep.Config().FrameCap())
+	if _, err := hp.Pop(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapHeldRevokedFrameStaysValid(t *testing.T) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = safering.SharedArea
+	cfg.SlotSize = 64
+	cfg.RX = safering.Revoke
+	ep, err := safering.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	want := []byte("held across the swap")
+	if err := hp.Push(want); err != nil {
+		t.Fatal(err)
+	}
+	rx, err := ep.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	// The frame from the old instance remains readable and releasable.
+	if !bytes.Equal(rx.Bytes(), want) {
+		t.Fatal("held frame corrupted by swap")
+	}
+	rx.Release()
+	// And the new instance serves traffic.
+	hp2 := safering.NewHostPort(ep.Shared())
+	if err := hp2.Push(want); err != nil {
+		t.Fatal(err)
+	}
+	rx2, err := ep.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx2.Release()
+}
+
+// TestTCPSurvivesHotSwap is the §3.2 migration claim end to end: a TCP
+// transfer continues across a device hot-swap (in-flight frames lost,
+// recovered by retransmission).
+func TestTCPSurvivesHotSwap(t *testing.T) {
+	net := simnet.New()
+	mk := func(mac byte, ip ipv4.Addr) (*netstack.Stack, *safering.Endpoint, func(*nic.Pump)) {
+		cfg := safering.DefaultConfig()
+		cfg.MAC[5] = mac
+		ep, err := safering.New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := netstack.New(ep.NIC(), ip)
+		st.Start()
+		t.Cleanup(st.Close)
+		return st, ep, func(p *nic.Pump) { t.Cleanup(p.Stop) }
+	}
+	ipA, ipB := ipv4.Addr{10, 9, 0, 1}, ipv4.Addr{10, 9, 0, 2}
+	sa, epA, regA := mk(0xA, ipA)
+	sb, epB, regB := mk(0xB, ipB)
+	_ = epB
+	pumpA := nic.StartPump(safering.NewHostPort(epA.Shared()).NIC(), net.NewPort())
+	pumpB := nic.StartPump(safering.NewHostPort(epB.Shared()).NIC(), net.NewPort())
+	regA(pumpA)
+	regB(pumpB)
+
+	l, err := sb.Listen(9999, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		s, err := l.AcceptTimeout(10 * time.Second)
+		if err != nil {
+			done <- nil
+			return
+		}
+		data, _ := io.ReadAll(readerFor(s))
+		done <- data
+	}()
+
+	c, err := sa.Dial(ipB, 9999, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 96<<10)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	// Start the transfer, then hot-swap A's NIC mid-stream.
+	go func() {
+		c.Write(payload)
+		c.Close()
+	}()
+	time.Sleep(2 * time.Millisecond) // let some frames fly
+	pumpA.Stop()                     // old device detaches
+	newShared, err := epA.Swap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpA2 := nic.StartPump(safering.NewHostPort(newShared).NIC(), net.NewPort())
+	t.Cleanup(pumpA2.Stop)
+
+	select {
+	case got := <-done:
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("transfer corrupted across hot-swap (%d bytes)", len(got))
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("transfer did not survive the hot-swap")
+	}
+}
+
+type rd struct {
+	c interface{ Read([]byte) (int, error) }
+}
+
+func (r rd) Read(p []byte) (int, error) { return r.c.Read(p) }
+
+func readerFor(c interface{ Read([]byte) (int, error) }) io.Reader { return rd{c} }

@@ -1,0 +1,133 @@
+package shmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Bounce is a SWIOTLB-style bounce-buffer allocator: a pool of fixed-size
+// slots in a shared region through which all DMA-visible data is staged.
+// Map copies data into a slot; Unmap copies it back out. The copy happens
+// unconditionally, "even in cases where double fetch is impossible"
+// (paper §2.5) — that is the point: Bounce reproduces the legacy
+// copy-everywhere behaviour so its cost can be compared against designs
+// where copies are first-class and elided when provably safe.
+type Bounce struct {
+	region   *Region
+	slotSize int
+	slots    int
+
+	mu   sync.Mutex
+	free []int // free slot indexes, LIFO
+
+	// BytesCopied counts every byte staged in or out, for the cost model.
+	BytesCopied atomic.Uint64
+	// MapCount counts Map operations.
+	MapCount atomic.Uint64
+}
+
+// ErrBounceFull is returned by Map when no slot is free.
+var ErrBounceFull = errors.New("shmem: bounce pool exhausted")
+
+// ErrBadSlot is returned for out-of-range or double-released slots.
+var ErrBadSlot = errors.New("shmem: invalid bounce slot")
+
+// NewBounce carves a bounce pool of slots slots of slotSize bytes each out
+// of a fresh shared region. slotSize and slots must both be powers of two
+// so that slot offsets stay maskable.
+func NewBounce(slotSize, slots int) (*Bounce, error) {
+	if slotSize <= 0 || slotSize&(slotSize-1) != 0 {
+		return nil, fmt.Errorf("shmem: bounce slot size %d not a power of two", slotSize)
+	}
+	if slots <= 0 || slots&(slots-1) != 0 {
+		return nil, fmt.Errorf("shmem: bounce slot count %d not a power of two", slots)
+	}
+	r, err := NewRegion(slotSize * slots)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bounce{region: r, slotSize: slotSize, slots: slots}
+	b.free = make([]int, slots)
+	for i := range b.free {
+		b.free[i] = slots - 1 - i // pop order 0,1,2,...
+	}
+	return b, nil
+}
+
+// Region exposes the backing shared region (the host's view).
+func (b *Bounce) Region() *Region { return b.region }
+
+// SlotSize returns the size of each bounce slot.
+func (b *Bounce) SlotSize() int { return b.slotSize }
+
+// FreeSlots returns the number of currently free slots.
+func (b *Bounce) FreeSlots() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.free)
+}
+
+// Map stages data into a free slot and returns the slot index. The data
+// must fit in one slot; transports fragment above this layer.
+func (b *Bounce) Map(data []byte) (slot int, err error) {
+	if len(data) > b.slotSize {
+		return 0, fmt.Errorf("shmem: bounce payload %d exceeds slot size %d", len(data), b.slotSize)
+	}
+	b.mu.Lock()
+	if len(b.free) == 0 {
+		b.mu.Unlock()
+		return 0, ErrBounceFull
+	}
+	slot = b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	b.mu.Unlock()
+
+	b.region.WriteAt(data, uint64(slot*b.slotSize))
+	b.BytesCopied.Add(uint64(len(data)))
+	b.MapCount.Add(1)
+	return slot, nil
+}
+
+// Unmap copies n bytes back out of the slot into dst (which must be at
+// least n long) and releases the slot. It is used on the receive path;
+// for transmit, use Release to free the slot without the copy-out.
+func (b *Bounce) Unmap(slot, n int, dst []byte) error {
+	if n > b.slotSize || n > len(dst) {
+		return fmt.Errorf("shmem: bounce unmap of %d bytes exceeds slot or dst", n)
+	}
+	if err := b.checkSlot(slot); err != nil {
+		return err
+	}
+	b.region.ReadAt(dst[:n], uint64(slot*b.slotSize))
+	b.BytesCopied.Add(uint64(n))
+	return b.Release(slot)
+}
+
+// Release returns a slot to the free pool without copying, and scrubs it
+// so stale tenant data never lingers in host-visible memory.
+func (b *Bounce) Release(slot int) error {
+	if err := b.checkSlot(slot); err != nil {
+		return err
+	}
+	zero := make([]byte, b.slotSize)
+	b.region.WriteAt(zero, uint64(slot*b.slotSize))
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range b.free {
+		if f == slot {
+			return fmt.Errorf("%w: double release of slot %d", ErrBadSlot, slot)
+		}
+	}
+	b.free = append(b.free, slot)
+	return nil
+}
+
+func (b *Bounce) checkSlot(slot int) error {
+	if slot < 0 || slot >= b.slots {
+		return fmt.Errorf("%w: slot %d out of range [0,%d)", ErrBadSlot, slot, b.slots)
+	}
+	return nil
+}

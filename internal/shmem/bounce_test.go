@@ -1,0 +1,114 @@
+package shmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBounceValidation(t *testing.T) {
+	if _, err := NewBounce(100, 8); err == nil {
+		t.Error("accepted non-power-of-two slot size")
+	}
+	if _, err := NewBounce(128, 3); err == nil {
+		t.Error("accepted non-power-of-two slot count")
+	}
+	if _, err := NewBounce(0, 8); err == nil {
+		t.Error("accepted zero slot size")
+	}
+}
+
+func TestBounceMapUnmapRoundTrip(t *testing.T) {
+	b, err := NewBounce(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("confidential payload")
+	slot, err := b.Map(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := b.Unmap(slot, len(payload), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q, want %q", got, payload)
+	}
+	// Two copies: one in, one out.
+	if n := b.BytesCopied.Load(); n != 2*uint64(len(payload)) {
+		t.Errorf("BytesCopied = %d, want %d", n, 2*len(payload))
+	}
+}
+
+func TestBounceExhaustionAndRelease(t *testing.T) {
+	b, err := NewBounce(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := b.Map([]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Map([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Map([]byte{3}); !errors.Is(err, ErrBounceFull) {
+		t.Fatalf("want ErrBounceFull, got %v", err)
+	}
+	if err := b.Release(s0); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreeSlots() != 1 {
+		t.Fatalf("FreeSlots = %d, want 1", b.FreeSlots())
+	}
+	if _, err := b.Map([]byte{4}); err != nil {
+		t.Fatalf("map after release: %v", err)
+	}
+}
+
+func TestBounceRejectsOversizedPayload(t *testing.T) {
+	b, _ := NewBounce(64, 2)
+	if _, err := b.Map(make([]byte, 65)); err == nil {
+		t.Fatal("accepted payload larger than slot")
+	}
+}
+
+func TestBounceDoubleReleaseDetected(t *testing.T) {
+	b, _ := NewBounce(64, 2)
+	s, _ := b.Map([]byte{1})
+	if err := b.Release(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(s); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double release: want ErrBadSlot, got %v", err)
+	}
+}
+
+func TestBounceRejectsBadSlotIndex(t *testing.T) {
+	b, _ := NewBounce(64, 2)
+	if err := b.Release(-1); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("Release(-1): %v", err)
+	}
+	if err := b.Release(2); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("Release(2): %v", err)
+	}
+	if err := b.Unmap(99, 1, make([]byte, 1)); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("Unmap(99): %v", err)
+	}
+}
+
+func TestBounceScrubsOnRelease(t *testing.T) {
+	b, _ := NewBounce(64, 2)
+	s, _ := b.Map([]byte("secret"))
+	if err := b.Release(s); err != nil {
+		t.Fatal(err)
+	}
+	slotBytes := make([]byte, 64)
+	b.Region().ReadAt(slotBytes, uint64(s*64))
+	for i, v := range slotBytes {
+		if v != 0 {
+			t.Fatalf("byte %d of released slot not scrubbed: %#x", i, v)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package shmem provides the shared-memory primitives used at the
+// host/TEE boundary of every confidential I/O design in this repository.
+//
+// The package implements the memory-safety building blocks that the paper
+// ("Towards (Really) Safe and Fast Confidential I/O", HotOS'23, §3.2)
+// demands of a safe L2 interface:
+//
+//   - Region: a power-of-two sized shared byte area whose accessors mask
+//     every offset, so an out-of-range access is unrepresentable rather
+//     than merely checked ("safe ring buffer & shared data area ...
+//     protected via careful pointer/index masking").
+//
+//   - Bounce: a SWIOTLB-style bounce-buffer allocator that copies on every
+//     map/unmap, reproducing the legacy "copy piggybacked everywhere"
+//     behaviour the paper criticises, so its cost can be measured against
+//     copy-as-a-first-class-citizen designs.
+//
+//   - Arena: a shared slab allocator designed for mutual distrust
+//     (snmalloc-inspired): allocation handles are masked offsets, frees
+//     travel as messages, and the trusted side validates ownership before
+//     reuse.
+//
+//   - Journal: access instrumentation that records interleaved reads and
+//     writes from the two distrusting sides and detects double-fetch
+//     patterns, used by the attack harness and tests.
+//
+// All types are driven by ordinary Go code on both "sides"; the package is
+// a simulation substrate, not an actual IPC mechanism. What it preserves
+// from the real systems is the sharing discipline: which side may touch
+// which bytes, and what each side can observe.
+package shmem

@@ -1,0 +1,195 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Side identifies which distrusting party performed a shared-memory
+// access. The journal tags every access with its side so double-fetch
+// patterns (guest read / host write / guest read of the same bytes) can
+// be detected after the fact.
+type Side uint8
+
+// The two sides of the confidential I/O boundary.
+const (
+	Guest Side = iota // the confidential workload (trusted by itself)
+	Host              // the untrusted host / device model
+)
+
+func (s Side) String() string {
+	if s == Guest {
+		return "guest"
+	}
+	return "host"
+}
+
+// Access is one journaled shared-memory operation.
+type Access struct {
+	Side  Side
+	Write bool
+	Off   uint64
+	Len   int
+	Seq   uint64 // global order of the access
+}
+
+// DoubleFetch describes one detected double-fetch window: the guest read
+// a range, the host wrote an overlapping range, and the guest read an
+// overlapping range again. If the consumer of the first read made a
+// decision (e.g. validated a length) that the second read's value can
+// contradict, this is exploitable.
+type DoubleFetch struct {
+	FirstRead  Access
+	HostWrite  Access
+	SecondRead Access
+}
+
+func (d DoubleFetch) String() string {
+	return fmt.Sprintf("double fetch: guest read @%d+%d (seq %d), host write @%d+%d (seq %d), guest re-read @%d+%d (seq %d)",
+		d.FirstRead.Off, d.FirstRead.Len, d.FirstRead.Seq,
+		d.HostWrite.Off, d.HostWrite.Len, d.HostWrite.Seq,
+		d.SecondRead.Off, d.SecondRead.Len, d.SecondRead.Seq)
+}
+
+// Journal wraps a Region with per-side instrumented views. It is used by
+// the attack harness and by tests to prove which transports are
+// double-fetch-free by construction and which are not.
+type Journal struct {
+	region *Region
+
+	mu       sync.Mutex
+	accesses []Access
+	seq      uint64
+}
+
+// NewJournal instruments the given region.
+func NewJournal(r *Region) *Journal {
+	return &Journal{region: r}
+}
+
+// View returns an instrumented accessor for one side. Views share the
+// underlying region, so writes from one side are visible to the other —
+// exactly like real shared memory.
+func (j *Journal) View(s Side) *View { return &View{j: j, side: s} }
+
+func (j *Journal) record(s Side, write bool, off uint64, n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.accesses = append(j.accesses, Access{Side: s, Write: write, Off: off & j.region.mask, Len: n, Seq: j.seq})
+}
+
+// Accesses returns a copy of the journal so far.
+func (j *Journal) Accesses() []Access {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Access, len(j.accesses))
+	copy(out, j.accesses)
+	return out
+}
+
+// Reset clears the journal (not the region contents).
+func (j *Journal) Reset() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.accesses = nil
+}
+
+func overlaps(a, b Access, mask uint64) bool {
+	// Compare in masked offset space; ranges here are short relative to
+	// the region, so treat them as non-wrapping intervals after masking.
+	aEnd := a.Off + uint64(a.Len)
+	bEnd := b.Off + uint64(b.Len)
+	return a.Off < bEnd && b.Off < aEnd
+}
+
+// DoubleFetches scans the journal for guest-read / host-write /
+// guest-read interleavings over overlapping ranges and returns one
+// finding per (first read, second read) pair with the earliest
+// intervening host write.
+func (j *Journal) DoubleFetches() []DoubleFetch {
+	acc := j.Accesses()
+	var out []DoubleFetch
+	for i, first := range acc {
+		if first.Side != Guest || first.Write {
+			continue
+		}
+		var hostWrite *Access
+		for k := i + 1; k < len(acc); k++ {
+			a := acc[k]
+			switch {
+			case a.Side == Host && a.Write && overlaps(first, a, j.region.mask):
+				if hostWrite == nil {
+					w := a
+					hostWrite = &w
+				}
+			case a.Side == Guest && !a.Write && hostWrite != nil &&
+				overlaps(first, a, j.region.mask) && overlaps(*hostWrite, a, j.region.mask):
+				out = append(out, DoubleFetch{FirstRead: first, HostWrite: *hostWrite, SecondRead: a})
+				hostWrite = nil // report each window once per first read
+			}
+		}
+	}
+	return out
+}
+
+// View is one side's instrumented window onto a journaled region. It
+// mirrors the Region accessors that the transports use.
+type View struct {
+	j    *Journal
+	side Side
+}
+
+// Region returns the underlying region (for size/mask queries).
+func (v *View) Region() *Region { return v.j.region }
+
+// Side reports which side this view belongs to.
+func (v *View) Side() Side { return v.side }
+
+// Byte reads one byte at the masked offset.
+func (v *View) Byte(off uint64) byte {
+	v.j.record(v.side, false, off, 1)
+	return v.j.region.Byte(off)
+}
+
+// SetByte writes one byte at the masked offset.
+func (v *View) SetByte(off uint64, b byte) {
+	v.j.record(v.side, true, off, 1)
+	v.j.region.SetByte(off, b)
+}
+
+// U32 reads a uint32 at the masked offset.
+func (v *View) U32(off uint64) uint32 {
+	v.j.record(v.side, false, off, 4)
+	return v.j.region.U32(off)
+}
+
+// SetU32 writes a uint32 at the masked offset.
+func (v *View) SetU32(off uint64, x uint32) {
+	v.j.record(v.side, true, off, 4)
+	v.j.region.SetU32(off, x)
+}
+
+// U64 reads a uint64 at the masked offset.
+func (v *View) U64(off uint64) uint64 {
+	v.j.record(v.side, false, off, 8)
+	return v.j.region.U64(off)
+}
+
+// SetU64 writes a uint64 at the masked offset.
+func (v *View) SetU64(off uint64, x uint64) {
+	v.j.record(v.side, true, off, 8)
+	v.j.region.SetU64(off, x)
+}
+
+// ReadAt copies out len(dst) bytes at the masked offset.
+func (v *View) ReadAt(dst []byte, off uint64) {
+	v.j.record(v.side, false, off, len(dst))
+	v.j.region.ReadAt(dst, off)
+}
+
+// WriteAt copies src in at the masked offset.
+func (v *View) WriteAt(src []byte, off uint64) {
+	v.j.record(v.side, true, off, len(src))
+	v.j.region.WriteAt(src, off)
+}

@@ -1,0 +1,115 @@
+package shmem
+
+import (
+	"testing"
+)
+
+func TestJournalRecordsAccesses(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g, h := j.View(Guest), j.View(Host)
+	g.SetU32(0, 42)
+	if got := h.U32(0); got != 42 {
+		t.Fatalf("host read %d, want 42 (views must share storage)", got)
+	}
+	acc := j.Accesses()
+	if len(acc) != 2 {
+		t.Fatalf("journal has %d accesses, want 2", len(acc))
+	}
+	if acc[0].Side != Guest || !acc[0].Write || acc[1].Side != Host || acc[1].Write {
+		t.Fatalf("journal misrecorded: %+v", acc)
+	}
+	if acc[0].Seq >= acc[1].Seq {
+		t.Fatal("sequence numbers not monotone")
+	}
+}
+
+func TestDoubleFetchDetected(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g, h := j.View(Guest), j.View(Host)
+
+	// Classic TOCTOU: guest validates a length field, host rewrites it,
+	// guest uses it.
+	h.SetU32(8, 100)  // host publishes len=100
+	_ = g.U32(8)      // guest reads and validates
+	h.SetU32(8, 9999) // host swaps it
+	_ = g.U32(8)      // guest fetches again for use
+
+	dfs := j.DoubleFetches()
+	if len(dfs) != 1 {
+		t.Fatalf("found %d double fetches, want 1: %v", len(dfs), dfs)
+	}
+	d := dfs[0]
+	if d.FirstRead.Off != 8 || d.HostWrite.Off != 8 || d.SecondRead.Off != 8 {
+		t.Fatalf("wrong window: %v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSingleFetchIsClean(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g, h := j.View(Guest), j.View(Host)
+
+	// Copy-first discipline: guest snapshots once, host writes after;
+	// no second guest read of that range.
+	h.SetU32(8, 100)
+	buf := make([]byte, 16)
+	g.ReadAt(buf, 0)
+	h.SetU32(8, 9999)
+
+	if dfs := j.DoubleFetches(); len(dfs) != 0 {
+		t.Fatalf("false positive double fetch: %v", dfs)
+	}
+}
+
+func TestNonOverlappingWritesIgnored(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g, h := j.View(Guest), j.View(Host)
+
+	_ = g.U32(0)
+	h.SetU32(32, 7) // elsewhere
+	_ = g.U32(0)
+
+	if dfs := j.DoubleFetches(); len(dfs) != 0 {
+		t.Fatalf("non-overlapping host write flagged: %v", dfs)
+	}
+}
+
+func TestJournalReset(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g := j.View(Guest)
+	_ = g.Byte(0)
+	j.Reset()
+	if len(j.Accesses()) != 0 {
+		t.Fatal("Reset did not clear journal")
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if Guest.String() != "guest" || Host.String() != "host" {
+		t.Fatal("Side.String() wrong")
+	}
+}
+
+func TestViewByteAndU64(t *testing.T) {
+	j := NewJournal(MustRegion(64))
+	g := j.View(Guest)
+	g.SetByte(5, 0xAB)
+	if g.Byte(5) != 0xAB {
+		t.Fatal("byte round trip")
+	}
+	g.SetU64(16, 0xFEEDFACECAFEBEEF)
+	if g.U64(16) != 0xFEEDFACECAFEBEEF {
+		t.Fatal("u64 round trip")
+	}
+	g.WriteAt([]byte{1, 2, 3}, 40)
+	got := make([]byte, 3)
+	g.ReadAt(got, 40)
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatal("ReadAt/WriteAt round trip")
+	}
+	if g.Region().Size() != 64 || g.Side() != Guest {
+		t.Fatal("accessor metadata wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package shmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRegionValidatesSize(t *testing.T) {
+	for _, bad := range []int{0, -8, 3, 12, 7, MinRegionSize / 2, 1000} {
+		if _, err := NewRegion(bad); err == nil {
+			t.Errorf("NewRegion(%d) accepted a non-power-of-two size", bad)
+		}
+	}
+	for _, good := range []int{8, 16, 64, 4096, 1 << 20} {
+		r, err := NewRegion(good)
+		if err != nil {
+			t.Fatalf("NewRegion(%d): %v", good, err)
+		}
+		if r.Size() != good {
+			t.Errorf("Size() = %d, want %d", r.Size(), good)
+		}
+		if r.Mask() != uint64(good-1) {
+			t.Errorf("Mask() = %d, want %d", r.Mask(), good-1)
+		}
+	}
+}
+
+func TestMustRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegion(3) did not panic")
+		}
+	}()
+	MustRegion(3)
+}
+
+func TestByteMasking(t *testing.T) {
+	r := MustRegion(16)
+	r.SetByte(3, 0xAA)
+	if got := r.Byte(3); got != 0xAA {
+		t.Fatalf("Byte(3) = %#x, want 0xAA", got)
+	}
+	// Offset 19 masks to 3: no out-of-range access is expressible.
+	if got := r.Byte(19); got != 0xAA {
+		t.Fatalf("Byte(19) = %#x, want masked alias of offset 3", got)
+	}
+	r.SetByte(1<<40|5, 0xBB)
+	if got := r.Byte(5); got != 0xBB {
+		t.Fatalf("huge offset did not mask to 5")
+	}
+}
+
+func TestReadWriteAtWrapAround(t *testing.T) {
+	r := MustRegion(16)
+	src := []byte{1, 2, 3, 4, 5, 6}
+	r.WriteAt(src, 13) // wraps: bytes land at 13,14,15,0,1,2
+	dst := make([]byte, 6)
+	r.ReadAt(dst, 13)
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("wrap round-trip = %v, want %v", dst, src)
+	}
+	if r.Byte(0) != 4 || r.Byte(2) != 6 {
+		t.Fatalf("wrapped bytes not at start of region: %v %v", r.Byte(0), r.Byte(2))
+	}
+}
+
+func TestIntegerAccessorsRoundTrip(t *testing.T) {
+	r := MustRegion(64)
+	r.SetU16(10, 0xBEEF)
+	if got := r.U16(10); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	r.SetU32(20, 0xDEADBEEF)
+	if got := r.U32(20); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	r.SetU64(32, 0x0123456789ABCDEF)
+	if got := r.U64(32); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+}
+
+func TestIntegerAccessorsWrap(t *testing.T) {
+	r := MustRegion(16)
+	// U64 spanning the wrap point.
+	r.SetU64(12, 0x1122334455667788)
+	if got := r.U64(12); got != 0x1122334455667788 {
+		t.Fatalf("wrapping U64 = %#x", got)
+	}
+	// It must also equal masked aliases.
+	if got := r.U64(12 + 16); got != 0x1122334455667788 {
+		t.Fatalf("aliased wrapping U64 = %#x", got)
+	}
+	r.SetU32(15, 0xA1B2C3D4)
+	if got := r.U32(15); got != 0xA1B2C3D4 {
+		t.Fatalf("wrapping U32 = %#x", got)
+	}
+	r.SetU16(15, 0x5566)
+	if got := r.U16(15); got != 0x5566 {
+		t.Fatalf("wrapping U16 = %#x", got)
+	}
+}
+
+func TestFillAndClone(t *testing.T) {
+	r := MustRegion(32)
+	r.Fill(0x7F)
+	for i := uint64(0); i < 32; i++ {
+		if r.Byte(i) != 0x7F {
+			t.Fatalf("Fill missed byte %d", i)
+		}
+	}
+	c := r.Clone()
+	r.SetByte(0, 0)
+	if c.Byte(0) != 0x7F {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+// Property: for any offset and any region size, accessors never panic and
+// reads observe the most recent masked write.
+func TestMaskedAccessProperty(t *testing.T) {
+	r := MustRegion(256)
+	f := func(off uint64, v byte) bool {
+		r.SetByte(off, v)
+		return r.Byte(off) == v && r.Byte(off&r.Mask()) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: U64 round-trips at arbitrary (possibly wrapping) offsets.
+func TestU64RoundTripProperty(t *testing.T) {
+	r := MustRegion(128)
+	f := func(off, v uint64) bool {
+		r.SetU64(off, v)
+		return r.U64(off) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteAt/ReadAt round-trip for arbitrary short payloads at
+// arbitrary offsets, including wrap-around.
+func TestReadWriteAtProperty(t *testing.T) {
+	r := MustRegion(64)
+	f := func(off uint64, data []byte) bool {
+		if len(data) > r.Size() {
+			data = data[:r.Size()]
+		}
+		r.WriteAt(data, off)
+		got := make([]byte, len(data))
+		r.ReadAt(got, off)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

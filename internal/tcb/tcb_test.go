@@ -1,0 +1,86 @@
+package tcb
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProfileTotalsAndClasses(t *testing.T) {
+	small := Profile{Name: "core", Components: []Component{CompApp, CompCTLS, CompGate}}
+	if small.Total() != CompApp.LoC+CompCTLS.LoC+CompGate.LoC {
+		t.Fatalf("total = %d", small.Total())
+	}
+	if small.Class() != ClassS {
+		t.Fatalf("class = %s", small.Class())
+	}
+	big := Profile{Name: "l2", Components: []Component{
+		CompApp, CompCTLS, CompEther, CompARP, CompIPv4, CompUDP, CompTCP, CompNetstack, CompSafering,
+	}}
+	if big.Class() != ClassL && big.Class() != ClassXL {
+		t.Fatalf("L2 profile class = %s (%d LoC)", big.Class(), big.Total())
+	}
+	if !strings.Contains(big.String(), "tcp") {
+		t.Fatal("String misses components")
+	}
+}
+
+func TestClassThresholdOrdering(t *testing.T) {
+	mk := func(loc int) Profile {
+		return Profile{Components: []Component{{Name: "x", LoC: loc}}}
+	}
+	order := []Class{mk(500).Class(), mk(1500).Class(), mk(3000).Class(), mk(5000).Class()}
+	want := []Class{ClassS, ClassM, ClassL, ClassXL}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("thresholds broken: %v", order)
+		}
+	}
+}
+
+// TestCatalogFresh keeps the static weights within 2x of the live source
+// tree, so the Figure 5 TCB axis stays anchored to reality as the code
+// evolves.
+func TestCatalogFresh(t *testing.T) {
+	cases := []struct {
+		comp Component
+		dir  string
+	}{
+		{CompEther, "ether"}, {CompARP, "arp"}, {CompIPv4, "ipv4"},
+		{CompUDP, "udp"}, {CompTCP, "tcp"}, {CompNetstack, "netstack"},
+		{CompSafering, "safering"}, {CompVirtio, "virtio"},
+		{CompNetvsc, "netvsc"}, {CompCTLS, "ctls"}, {CompGate, "compartment"},
+		{CompTDISP, "tdisp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			live, err := Measure(filepath.Join("..", tc.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live == 0 {
+				t.Fatal("measured zero lines")
+			}
+			lo, hi := tc.comp.LoC/2, tc.comp.LoC*2
+			if live < lo || live > hi {
+				t.Errorf("catalog weight for %s is %d but source has %d lines; update the catalog",
+					tc.comp.Name, tc.comp.LoC, live)
+			}
+		})
+	}
+}
+
+func TestMeasureSkipsTestsAndComments(t *testing.T) {
+	n, err := Measure(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > 400 {
+		t.Fatalf("suspicious self-measure: %d", n)
+	}
+	if _, err := Measure("/nonexistent-dir"); err == nil {
+		t.Fatal("missing dir not reported")
+	}
+	_ = fmt.Sprint(n)
+}

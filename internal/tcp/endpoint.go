@@ -1,0 +1,372 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"confio/internal/ipv4"
+)
+
+// Tunables. The timers are scaled for a simulated network whose RTT is
+// microseconds; the protocol logic is identical to wall-clock TCP.
+const (
+	defaultMSS  = 1460
+	sndBufMax   = 256 << 10
+	rcvBufMax   = 256 << 10
+	rtoInitial  = 50 * time.Millisecond
+	rtoMax      = 2 * time.Second
+	maxRetries  = 10
+	timeWaitDur = 250 * time.Millisecond
+	probeEvery  = 20 * time.Millisecond
+	maxOOOSegs  = 128
+)
+
+// Endpoint errors.
+var (
+	ErrRefused        = errors.New("tcp: connection refused")
+	ErrReset          = errors.New("tcp: connection reset by peer")
+	ErrTimeout        = errors.New("tcp: operation timed out")
+	ErrClosed         = errors.New("tcp: connection closed")
+	ErrListenerClosed = errors.New("tcp: listener closed")
+	ErrPortInUse      = errors.New("tcp: port in use")
+	ErrGaveUp         = errors.New("tcp: retransmission limit reached")
+)
+
+// Stats counts endpoint-wide protocol events.
+type Stats struct {
+	SegsIn, SegsOut   uint64
+	Retransmits       uint64
+	RSTsSent, RSTsIn  uint64
+	ChecksumDrops     uint64
+	OutOfWindowDrops  uint64
+	FastRetransmits   uint64
+	ZeroWindowProbes  uint64
+	SegmentsReordered uint64
+}
+
+type connKey struct {
+	rip   ipv4.Addr
+	rport uint16
+	lport uint16
+}
+
+type outMsg struct {
+	dst ipv4.Addr
+	seg []byte
+}
+
+// Endpoint is one host's TCP layer. Segments leave through the output
+// callback (toward the IP layer) and enter through Input. Tick drives
+// timers; the owning stack calls it periodically.
+type Endpoint struct {
+	ip     ipv4.Addr
+	mss    int
+	output func(dst ipv4.Addr, seg []byte)
+	now    func() time.Time
+
+	mu        sync.Mutex
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	eph       uint16
+	isn       uint32
+	stats     Stats
+	pending   []outMsg
+}
+
+// NewEndpoint creates a TCP endpoint for ip. mtu bounds the MSS; clock
+// may be nil (wall clock).
+func NewEndpoint(ip ipv4.Addr, mtu int, output func(dst ipv4.Addr, seg []byte), clock func() time.Time) *Endpoint {
+	if clock == nil {
+		clock = time.Now
+	}
+	mss := mtu - ipv4.HeaderLen - headerLen
+	if mss > defaultMSS {
+		mss = defaultMSS
+	}
+	return &Endpoint{
+		ip:        ip,
+		mss:       mss,
+		output:    output,
+		now:       clock,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		eph:       32768 + uint16(rand.Intn(16384)),
+		isn:       rand.Uint32(),
+	}
+}
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// emit queues a segment for transmission after the lock is released.
+func (e *Endpoint) emit(dst ipv4.Addr, seg []byte) {
+	e.stats.SegsOut++
+	e.pending = append(e.pending, outMsg{dst: dst, seg: seg})
+}
+
+// flush sends queued segments; must be called WITHOUT the lock held.
+func (e *Endpoint) flush(q []outMsg) {
+	for _, m := range q {
+		e.output(m.dst, m.seg)
+	}
+}
+
+func (e *Endpoint) takePending() []outMsg {
+	q := e.pending
+	e.pending = nil
+	return q
+}
+
+// Input processes one TCP segment received from src.
+func (e *Endpoint) Input(src ipv4.Addr, seg []byte) {
+	e.mu.Lock()
+	e.inputLocked(src, seg)
+	q := e.takePending()
+	e.mu.Unlock()
+	e.flush(q)
+}
+
+func (e *Endpoint) inputLocked(src ipv4.Addr, seg []byte) {
+	h, payload, err := Parse(src, e.ip, seg)
+	if err != nil {
+		e.stats.ChecksumDrops++
+		return
+	}
+	e.stats.SegsIn++
+	if h.Flags&FlagRST != 0 {
+		e.stats.RSTsIn++
+	}
+
+	key := connKey{rip: src, rport: h.SrcPort, lport: h.DstPort}
+	if c, ok := e.conns[key]; ok {
+		c.segmentLocked(h, payload)
+		return
+	}
+	if l, ok := e.listeners[h.DstPort]; ok && h.Flags&FlagSYN != 0 && h.Flags&FlagACK == 0 {
+		l.synLocked(src, h)
+		return
+	}
+	// No home for this segment: RST (unless it is itself a RST).
+	if h.Flags&FlagRST == 0 {
+		e.sendRSTLocked(src, h, len(payload))
+	}
+}
+
+func (e *Endpoint) sendRSTLocked(dst ipv4.Addr, h Header, payloadLen int) {
+	e.stats.RSTsSent++
+	ackAdj := uint32(payloadLen)
+	if h.Flags&FlagSYN != 0 {
+		ackAdj++
+	}
+	if h.Flags&FlagFIN != 0 {
+		ackAdj++
+	}
+	rst := Header{
+		SrcPort: h.DstPort, DstPort: h.SrcPort,
+		Flags: FlagRST | FlagACK,
+		Seq:   h.Ack, Ack: h.Seq + ackAdj,
+	}
+	e.emit(dst, Marshal(nil, e.ip, dst, rst, nil))
+}
+
+// Tick advances timers (retransmission, zero-window probes, TIME-WAIT
+// expiry). The stack calls it every few milliseconds.
+func (e *Endpoint) Tick() {
+	e.mu.Lock()
+	now := e.now()
+	for _, c := range e.conns {
+		c.tickLocked(now)
+	}
+	q := e.takePending()
+	e.mu.Unlock()
+	e.flush(q)
+}
+
+func (e *Endpoint) nextISNLocked() uint32 {
+	e.isn += 0x3779 + uint32(rand.Intn(1<<16))
+	return e.isn
+}
+
+func (e *Endpoint) allocPortLocked() (uint16, error) {
+	for i := 0; i < 1<<15; i++ {
+		p := e.eph
+		e.eph++
+		if e.eph < 32768 {
+			e.eph = 32768
+		}
+		if _, used := e.listeners[p]; used {
+			continue
+		}
+		inUse := false
+		for k := range e.conns {
+			if k.lport == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p, nil
+		}
+	}
+	return 0, errors.New("tcp: ephemeral ports exhausted")
+}
+
+// Dial opens a connection to dst:port, blocking until established,
+// refused, reset, or timeout (timeout<=0 means 5s).
+func (e *Endpoint) Dial(dst ipv4.Addr, port uint16, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	e.mu.Lock()
+	lport, err := e.allocPortLocked()
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	c := newConn(e, connKey{rip: dst, rport: port, lport: lport})
+	c.state = StateSynSent
+	c.iss = e.nextISNLocked()
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	e.conns[c.key] = c
+	c.sendSynLocked()
+	ch := c.notify
+	q := e.takePending()
+	e.mu.Unlock()
+	e.flush(q)
+
+	deadline := time.After(timeout)
+	for {
+		select {
+		case <-ch:
+		case <-deadline:
+			e.mu.Lock()
+			established := c.state == StateEstablished
+			if !established {
+				c.teardownLocked(ErrTimeout)
+			}
+			q := e.takePending()
+			e.mu.Unlock()
+			e.flush(q)
+			if established {
+				return c, nil
+			}
+			return nil, ErrTimeout
+		}
+		e.mu.Lock()
+		st, cerr := c.state, c.connErr
+		ch = c.notify
+		e.mu.Unlock()
+		if st == StateEstablished {
+			return c, nil
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	e       *Endpoint
+	port    uint16
+	backlog chan *Conn
+	closed  bool
+}
+
+// Listen starts accepting connections on port.
+func (e *Endpoint) Listen(port uint16, backlog int) (*Listener, error) {
+	if backlog <= 0 {
+		backlog = 16
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, used := e.listeners[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	l := &Listener{e: e, port: port, backlog: make(chan *Conn, backlog)}
+	e.listeners[port] = l
+	return l, nil
+}
+
+// synLocked handles an inbound SYN for this listener.
+func (l *Listener) synLocked(src ipv4.Addr, h Header) {
+	if l.closed || len(l.backlog) == cap(l.backlog) {
+		return // silently drop; client retransmits
+	}
+	e := l.e
+	key := connKey{rip: src, rport: h.SrcPort, lport: l.port}
+	c := newConn(e, key)
+	c.state = StateSynRcvd
+	c.listener = l
+	c.iss = e.nextISNLocked()
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	c.irs = h.Seq
+	c.rcvNxt = h.Seq + 1
+	if h.MSS != 0 && int(h.MSS) < c.mss {
+		c.mss = int(h.MSS)
+	}
+	c.sndWnd = uint32(h.Window)
+	e.conns[key] = c
+	c.sendSynLocked() // SYN-ACK (state-dependent)
+}
+
+// Accept returns the next established connection, blocking until one
+// arrives or the listener closes.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrListenerClosed
+	}
+	return c, nil
+}
+
+// AcceptTimeout is Accept with a deadline.
+func (l *Listener) AcceptTimeout(d time.Duration) (*Conn, error) {
+	select {
+	case c, ok := <-l.backlog:
+		if !ok {
+			return nil, ErrListenerClosed
+		}
+		return c, nil
+	case <-time.After(d):
+		return nil, ErrTimeout
+	}
+}
+
+// Close stops accepting. Established-but-unaccepted connections are
+// aborted.
+func (l *Listener) Close() {
+	e := l.e
+	e.mu.Lock()
+	if l.closed {
+		e.mu.Unlock()
+		return
+	}
+	l.closed = true
+	delete(e.listeners, l.port)
+	close(l.backlog)
+	for c := range drainBacklog(l.backlog) {
+		c.abortLocked()
+	}
+	q := e.takePending()
+	e.mu.Unlock()
+	e.flush(q)
+}
+
+func drainBacklog(ch chan *Conn) map[*Conn]bool {
+	out := map[*Conn]bool{}
+	for c := range ch {
+		out[c] = true
+	}
+	return out
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }

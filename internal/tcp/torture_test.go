@@ -1,0 +1,186 @@
+package tcp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestTortureAllImpairmentsAtOnce runs a sizeable transfer through a
+// pipe that simultaneously drops, duplicates, reorders and corrupts —
+// the worst network the transport must still deliver exactly-once,
+// in-order bytes through.
+func TestTortureAllImpairmentsAtOnce(t *testing.T) {
+	n := newTestNet(t)
+	c, s := n.connect(t, 8080)
+
+	var count int
+	var held [][]byte
+	n.mu.Lock()
+	n.filtAB = func(seg []byte) [][]byte {
+		count++
+		switch {
+		case count%11 == 0:
+			return nil // drop
+		case count%7 == 0:
+			seg[len(seg)-1] ^= 0xFF // corrupt (checksum will drop it)
+			return [][]byte{seg}
+		case count%5 == 0:
+			held = append(held, seg) // hold for reorder
+			return nil
+		case count%3 == 0:
+			out := [][]byte{seg, append([]byte{}, seg...)} // duplicate
+			out = append(out, held...)
+			held = nil
+			return out
+		default:
+			out := append([][]byte{seg}, held...)
+			held = nil
+			return out
+		}
+	}
+	n.mu.Unlock()
+
+	data := make([]byte, 160<<10)
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	go func() {
+		c.Write(data)
+		c.Close()
+	}()
+	got, err := io.ReadAll(&connReader{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("torture transfer corrupted (%d bytes)", len(got))
+	}
+	st := n.a.Stats()
+	if st.Retransmits == 0 {
+		t.Error("no retransmissions under torture?")
+	}
+	if n.b.Stats().ChecksumDrops == 0 {
+		t.Error("no checksum drops under torture?")
+	}
+}
+
+// TestSimultaneousClose exercises both sides closing at once (the
+// CLOSING state path).
+func TestSimultaneousClose(t *testing.T) {
+	n := newTestNet(t)
+	c, s := n.connect(t, 8080)
+	c.Close()
+	s.Close()
+	waitState(t, c, StateTimeWait, StateClosed)
+	waitState(t, s, StateTimeWait, StateClosed)
+	waitGone(t, n.a, c)
+	waitGone(t, n.b, s)
+}
+
+// TestInterleavedBidirectionalStreams pushes data both ways on one
+// connection concurrently.
+func TestInterleavedBidirectionalStreams(t *testing.T) {
+	n := newTestNet(t)
+	c, s := n.connect(t, 8080)
+
+	a2b := make([]byte, 64<<10)
+	b2a := make([]byte, 64<<10)
+	for i := range a2b {
+		a2b[i] = byte(i * 3)
+		b2a[i] = byte(i * 5)
+	}
+	errc := make(chan error, 2)
+	go func() {
+		_, err := c.Write(a2b)
+		c.CloseWrite()
+		errc <- err
+	}()
+	go func() {
+		_, err := s.Write(b2a)
+		s.CloseWrite()
+		errc <- err
+	}()
+
+	gotA := make(chan []byte, 1)
+	gotB := make(chan []byte, 1)
+	go func() {
+		d, _ := io.ReadAll(&connReader{s})
+		gotB <- d
+	}()
+	go func() {
+		d, _ := io.ReadAll(&connReader{c})
+		gotA <- d
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case d := <-gotB:
+		if !bytes.Equal(d, a2b) {
+			t.Fatal("a->b stream corrupted")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("a->b timed out")
+	}
+	select {
+	case d := <-gotA:
+		if !bytes.Equal(d, b2a) {
+			t.Fatal("b->a stream corrupted")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("b->a timed out")
+	}
+}
+
+// TestCongestionWindowDynamics: the window grows during a clean transfer
+// and collapses on loss.
+func TestCongestionWindowDynamics(t *testing.T) {
+	n := newTestNet(t)
+	c, s := n.connect(t, 8080)
+	initial := c.CongestionWindow()
+
+	// Clean transfer: slow start should grow the window.
+	data := make([]byte, 256<<10)
+	go func() {
+		c.Write(data)
+	}()
+	drained := 0
+	buf := make([]byte, 32<<10)
+	for drained < len(data) {
+		s.SetReadDeadline(time.Now().Add(10 * time.Second))
+		nn, err := s.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drained += nn
+	}
+	grown := c.CongestionWindow()
+	if grown <= initial {
+		t.Fatalf("cwnd did not grow: %d -> %d", initial, grown)
+	}
+
+	// Black-hole one stretch of segments: the RTO must collapse cwnd.
+	var count int
+	n.mu.Lock()
+	n.filtAB = func(seg []byte) [][]byte {
+		count++
+		if count < 20 {
+			return nil
+		}
+		return [][]byte{seg}
+	}
+	n.mu.Unlock()
+	go c.Write(data[:64<<10])
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.CongestionWindow() < grown {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cwnd never collapsed under loss: %d", c.CongestionWindow())
+}

@@ -1,0 +1,121 @@
+package virtio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Feature bits offered by the device. A subset of the real virtio-net
+// feature space, chosen to exercise the negotiation machinery.
+const (
+	// FeatIndirectDesc advertises indirect descriptor support.
+	FeatIndirectDesc uint64 = 1 << 0
+	// FeatEventIdx advertises used/avail event index suppression.
+	FeatEventIdx uint64 = 1 << 1
+	// FeatMrgRxBuf advertises mergeable receive buffers.
+	FeatMrgRxBuf uint64 = 1 << 2
+	// FeatLegacy marks pre-1.0 transitional behaviour.
+	FeatLegacy uint64 = 1 << 3
+	// FeatChecksumOffload lets the driver skip checksum work.
+	FeatChecksumOffload uint64 = 1 << 4
+)
+
+// knownFeatures is what this driver implementation understands.
+const knownFeatures = FeatIndirectDesc | FeatEventIdx | FeatMrgRxBuf | FeatLegacy | FeatChecksumOffload
+
+// Device status register values (virtio 1.x status FSM).
+const (
+	StatusReset       uint8 = 0
+	StatusAcknowledge uint8 = 1
+	StatusDriver      uint8 = 2
+	StatusDriverOK    uint8 = 4
+	StatusFeaturesOK  uint8 = 8
+	StatusNeedsReset  uint8 = 0x40
+	StatusFailed      uint8 = 0x80
+)
+
+// Hardening toggles retrofitted mutual distrust onto the driver. Each
+// field corresponds to a commit category from the paper's Figure 4 study
+// of the Linux virtio hardening effort.
+type Hardening struct {
+	// Checks validates device-written indexes, ids and lengths
+	// ("add checks": 35% of hardening commits).
+	Checks bool
+	// MemInit zeroes buffers before exposing them to the device
+	// ("add initialization to memory": 28%).
+	MemInit bool
+	// Copies stages all payloads through a bounce step and copies them
+	// out early with a validated length, SWIOTLB-style ("add copies").
+	Copies bool
+	// RaceProtect snapshots device-readable state once per operation
+	// instead of re-reading it ("protect against races").
+	RaceProtect bool
+	// RestrictFeatures refuses feature bits with known hardening
+	// problems (indirect descriptors, event idx) ("restrict features").
+	RestrictFeatures bool
+}
+
+// NoHardening is the lift-and-shift configuration: the driver as written
+// for a trusted hypervisor.
+func NoHardening() Hardening { return Hardening{} }
+
+// FullHardening enables every retrofit.
+func FullHardening() Hardening {
+	return Hardening{Checks: true, MemInit: true, Copies: true, RaceProtect: true, RestrictFeatures: true}
+}
+
+func (h Hardening) String() string {
+	mark := func(b bool) byte {
+		if b {
+			return '+'
+		}
+		return '-'
+	}
+	return fmt.Sprintf("checks%c init%c copies%c race%c restrict%c",
+		mark(h.Checks), mark(h.MemInit), mark(h.Copies), mark(h.RaceProtect), mark(h.RestrictFeatures))
+}
+
+// Config fixes the geometry of a driver/device pair.
+type Config struct {
+	MAC [6]byte
+	MTU int
+	// QueueSize is the virtqueue size (power of two).
+	QueueSize int
+	// BufSize is the per-buffer size (power of two, >= MTU+64).
+	BufSize int
+	// Hardening selects the retrofits.
+	Hardening Hardening
+	// WantFeatures is what the driver asks for from the offered set.
+	WantFeatures uint64
+}
+
+// DefaultConfig mirrors the safe-ring default geometry so benchmark
+// comparisons are apples-to-apples.
+func DefaultConfig() Config {
+	return Config{
+		MAC:       [6]byte{0x02, 0x00, 0x00, 0xB1, 0x00, 0x01},
+		MTU:       1500,
+		QueueSize: 256,
+		BufSize:   2048,
+		// Event-idx is negotiated by default, as Linux does; the
+		// restrict-features retrofit strips it (and pays the kicks).
+		WantFeatures: FeatMrgRxBuf | FeatChecksumOffload | FeatEventIdx,
+	}
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("virtio: invalid config")
+
+// Validate checks the structural requirements.
+func (c Config) Validate() error {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	switch {
+	case c.MTU < 64 || c.MTU > 9216:
+		return fmt.Errorf("%w: MTU %d", ErrConfig, c.MTU)
+	case !pow2(c.QueueSize) || c.QueueSize < 2 || c.QueueSize > 32768:
+		return fmt.Errorf("%w: queue size %d", ErrConfig, c.QueueSize)
+	case !pow2(c.BufSize) || c.BufSize < c.MTU+64:
+		return fmt.Errorf("%w: buf size %d for MTU %d", ErrConfig, c.BufSize, c.MTU)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package virtio
+
+import "sync"
+
+// Control models the virtio control plane: the device-owned feature and
+// status registers the driver reads during its stateful initialization
+// FSM. In a confidential VM these registers are host-controlled, which
+// is precisely why the paper's safe interface has no control plane at
+// all.
+type Control struct {
+	mu             sync.Mutex
+	deviceFeatures uint64
+	driverFeatures uint64
+	status         uint8
+	fetches        int
+
+	// FeatureHook, when set, substitutes the value of each device
+	// feature fetch (fetch counts from 1). The attack harness uses it to
+	// flap features between the driver's validation and store fetches.
+	FeatureHook func(fetch int, base uint64) uint64
+}
+
+// NewControl creates a control plane offering the given features.
+func NewControl(features uint64) *Control {
+	return &Control{deviceFeatures: features}
+}
+
+// ReadDeviceFeatures performs one driver fetch of the feature register.
+func (c *Control) ReadDeviceFeatures() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fetches++
+	if c.FeatureHook != nil {
+		return c.FeatureHook(c.fetches, c.deviceFeatures)
+	}
+	return c.deviceFeatures
+}
+
+// Fetches returns how many times the driver read the feature register.
+func (c *Control) Fetches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetches
+}
+
+// WriteDriverFeatures records the driver's accepted feature set.
+func (c *Control) WriteDriverFeatures(v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.driverFeatures = v
+}
+
+// DriverFeatures returns the driver-accepted set (device side).
+func (c *Control) DriverFeatures() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.driverFeatures
+}
+
+// WriteStatus is the driver's status register write. When the driver
+// asserts FEATURES_OK the device validates the accepted set and either
+// confirms the bit or clears it (per spec).
+func (c *Control) WriteStatus(v uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v&StatusFeaturesOK != 0 && c.driverFeatures&^c.deviceFeatures != 0 {
+		v &^= StatusFeaturesOK
+	}
+	c.status = v
+}
+
+// ReadStatus returns the current status register.
+func (c *Control) ReadStatus() uint8 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status
+}
+
+// ForceStatus lets a malicious device set arbitrary status bits.
+func (c *Control) ForceStatus(v uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.status = v
+}

@@ -1,0 +1,31 @@
+// Package virtio is the lift-and-shift baseline: a from-scratch model of
+// a virtio-net split-virtqueue driver/device pair, faithful to the parts
+// of the standard that the paper's §2.5 study identifies as the sources
+// of hardening pain:
+//
+//   - a stateful control plane (device status FSM + feature negotiation)
+//     that is read from device-controlled state and can change under the
+//     driver's feet,
+//   - descriptor tables, avail and used rings in memory the device can
+//     write at any time, indexed by device-supplied ids,
+//   - legacy behaviours (e.g. the driver trusting used.len, zero-copy
+//     receive views into shared buffers) kept for compatibility.
+//
+// The Hardening toggles map one-to-one onto the commit categories of
+// Figure 4 (add checks, add memory initialization, add copies, protect
+// against races, restrict features), so experiments can measure both the
+// security effect (which attacks each retrofit blocks — attack harness)
+// and the performance effect (what each retrofit costs — benchmarks),
+// reproducing the paper's observation that retrofitted distrust is
+// partial and expensive, compared to the safe-by-construction interface
+// in package safering.
+//
+// When a hardening toggle is off, the driver behaves like the historical
+// unhardened code: it trusts device-written values. Where that trust
+// would be memory-unsafe in C, the simulation stays memory-safe (masked
+// accesses) but *faithfully reproduces the security consequence* — e.g.
+// an out-of-range used.len leaks bytes of neighbouring buffers, a forged
+// used.id corrupts the free list and cross-wires frames. The driver
+// records a Stats entry for each trusted-without-check value so
+// experiments can attribute outcomes.
+package virtio

@@ -1,0 +1,190 @@
+// Package workload provides the deterministic traffic generators and
+// measurement helpers behind every experiment: request/response echo
+// (latency-bound, the paper's RPC motivation), bulk streaming
+// (throughput-bound, the "saturate a link" ideal of §2.2), and a mixed
+// middlebox-style size distribution.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Payload fills a deterministic pseudo-random payload for (seed, size).
+// Verification regenerates and compares, so corruption anywhere in a
+// stack shows up as a workload failure, not just a checksum counter.
+func Payload(seed uint64, size int) []byte {
+	p := make([]byte, size)
+	x := seed*0x9E3779B97F4A7C15 + 1
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x)
+	}
+	return p
+}
+
+// Verify checks that got matches Payload(seed, len(got)).
+func Verify(seed uint64, got []byte) error {
+	want := Payload(seed, len(got))
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("workload: payload byte %d corrupted (seed %d)", i, seed)
+		}
+	}
+	return nil
+}
+
+// Result summarizes one workload run.
+type Result struct {
+	Ops      int
+	Bytes    int64
+	Duration time.Duration
+	// Latencies holds per-op round-trip times (echo workloads only).
+	Latencies []time.Duration
+}
+
+// Throughput returns achieved bytes/second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Duration.Seconds()
+}
+
+// Gbps returns achieved gigabits/second.
+func (r Result) Gbps() float64 { return r.Throughput() * 8 / 1e9 }
+
+// OpsPerSec returns achieved operations/second.
+func (r Result) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]).
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	ls := append([]time.Duration{}, r.Latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(p / 100 * float64(len(ls)-1))
+	return ls[idx]
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%d ops, %d bytes in %v (%.2f Gbit/s, %.0f ops/s)",
+		r.Ops, r.Bytes, r.Duration.Round(time.Microsecond), r.Gbps(), r.OpsPerSec())
+	if len(r.Latencies) > 0 {
+		s += fmt.Sprintf(", p50=%v p99=%v", r.Percentile(50).Round(time.Microsecond), r.Percentile(99).Round(time.Microsecond))
+	}
+	return s
+}
+
+// EchoClient drives n request/response exchanges of size bytes over rw
+// and verifies every reply byte.
+func EchoClient(rw io.ReadWriter, n, size int) (Result, error) {
+	res := Result{Latencies: make([]time.Duration, 0, n)}
+	buf := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := Payload(uint64(i), size)
+		t0 := time.Now()
+		if _, err := rw.Write(req); err != nil {
+			return res, fmt.Errorf("workload: echo write %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(rw, buf); err != nil {
+			return res, fmt.Errorf("workload: echo read %d: %w", i, err)
+		}
+		res.Latencies = append(res.Latencies, time.Since(t0))
+		if err := Verify(uint64(i), buf); err != nil {
+			return res, err
+		}
+		res.Ops++
+		res.Bytes += int64(2 * size)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// EchoServer answers echo requests of size bytes until rw errors or n
+// exchanges complete (n<=0: until error).
+func EchoServer(rw io.ReadWriter, n, size int) error {
+	buf := make([]byte, size)
+	for i := 0; n <= 0 || i < n; i++ {
+		if _, err := io.ReadFull(rw, buf); err != nil {
+			if n <= 0 && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+				return nil
+			}
+			return err
+		}
+		if _, err := rw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkSend streams total bytes in chunk-sized writes.
+func BulkSend(w io.Writer, total int64, chunk int) (Result, error) {
+	res := Result{}
+	payload := Payload(42, chunk)
+	start := time.Now()
+	var sent int64
+	for sent < total {
+		n := chunk
+		if rem := total - sent; int64(n) > rem {
+			n = int(rem)
+		}
+		if _, err := w.Write(payload[:n]); err != nil {
+			return res, fmt.Errorf("workload: bulk write after %d bytes: %w", sent, err)
+		}
+		sent += int64(n)
+		res.Ops++
+	}
+	res.Bytes = sent
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// BulkRecv drains total bytes from r.
+func BulkRecv(r io.Reader, total int64) (Result, error) {
+	res := Result{}
+	buf := make([]byte, 64<<10)
+	start := time.Now()
+	var got int64
+	for got < total {
+		n, err := r.Read(buf)
+		got += int64(n)
+		if err != nil {
+			return res, fmt.Errorf("workload: bulk read after %d bytes: %w", got, err)
+		}
+	}
+	res.Ops = 1
+	res.Bytes = got
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// MixSizes is a middlebox-flavoured request size sequence: dominated by
+// small control messages with periodic MTU-scale and bulk bursts.
+func MixSizes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		switch {
+		case i%16 == 15:
+			out[i] = 16 << 10
+		case i%4 == 3:
+			out[i] = 1400
+		default:
+			out[i] = 128
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPayloadDeterministicAndSeedSensitive(t *testing.T) {
+	a := Payload(1, 256)
+	b := Payload(1, 256)
+	c := Payload(2, 256)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed differs")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds identical")
+	}
+	if err := Verify(1, a); err != nil {
+		t.Fatal(err)
+	}
+	a[10] ^= 1
+	if err := Verify(1, a); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestEchoClientServerOverPipe(t *testing.T) {
+	cr, sw := io.Pipe()
+	sr, cw := io.Pipe()
+	type rw struct {
+		io.Reader
+		io.Writer
+	}
+	go EchoServer(rw{sr, sw}, 10, 64)
+	res, err := EchoClient(rw{cr, cw}, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 || res.Bytes != 10*128 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(res.Latencies) != 10 || res.Percentile(50) <= 0 {
+		t.Fatal("latencies missing")
+	}
+	if !strings.Contains(res.String(), "p50=") {
+		t.Fatalf("String: %s", res.String())
+	}
+}
+
+func TestBulkSendRecv(t *testing.T) {
+	r, w := io.Pipe()
+	done := make(chan Result, 1)
+	go func() {
+		res, err := BulkRecv(r, 1<<20)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	sres, err := BulkSend(w, 1<<20, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres := <-done
+	if sres.Bytes != 1<<20 || rres.Bytes != 1<<20 {
+		t.Fatalf("bytes: %d / %d", sres.Bytes, rres.Bytes)
+	}
+	if sres.Ops != 32 {
+		t.Fatalf("chunks: %d", sres.Ops)
+	}
+	if sres.Throughput() <= 0 || sres.Gbps() <= 0 {
+		t.Fatal("throughput")
+	}
+}
+
+func TestBulkSendPartialTail(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := BulkSend(&buf, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 100 || res.Ops != 2 {
+		t.Fatalf("%d bytes in %d ops", buf.Len(), res.Ops)
+	}
+}
+
+func TestResultEdgeCases(t *testing.T) {
+	var r Result
+	if r.Throughput() != 0 || r.OpsPerSec() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("zero result not zero")
+	}
+	r = Result{Ops: 1, Bytes: 1e9, Duration: time.Second}
+	if g := r.Gbps(); g < 7.9 || g > 8.1 {
+		t.Fatalf("Gbps = %v", g)
+	}
+}
+
+func TestMixSizes(t *testing.T) {
+	sizes := MixSizes(32)
+	var small, mid, big int
+	for _, s := range sizes {
+		switch s {
+		case 128:
+			small++
+		case 1400:
+			mid++
+		case 16 << 10:
+			big++
+		default:
+			t.Fatalf("unexpected size %d", s)
+		}
+	}
+	if small <= mid || mid <= big || big == 0 {
+		t.Fatalf("distribution %d/%d/%d", small, mid, big)
+	}
+}
