@@ -1,0 +1,96 @@
+// Command ciovet runs confio's trust-boundary static-analysis suite over
+// the module, multichecker-style. It exits non-zero when any unsuppressed
+// diagnostic remains, which makes it a CI gate:
+//
+//	go run ./cmd/ciovet ./...
+//
+// Deliberate violations (attack harness, legacy unsafe baselines) opt out
+// loudly with `//ciovet:allow <rule> <reason>` on or above the flagged line;
+// -v lists every suppression so opt-outs stay auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"confio/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list suppressed diagnostics (//ciovet:allow opt-outs)")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [packages]\n\n"+
+			"Mechanically enforces the paper's trust-boundary hardening rules.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciovet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	var suppressed []analysis.Suppression
+	var fsetOf = map[string]*analysis.Package{}
+	for _, pkg := range pkgs {
+		res, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ciovet:", err)
+			os.Exit(2)
+		}
+		for range res.Diagnostics {
+			fsetOf[pkg.Path] = pkg
+		}
+		for i := range res.Diagnostics {
+			d := res.Diagnostics[i]
+			diags = append(diags, d)
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+		}
+		suppressed = append(suppressed, res.Suppressed...)
+		if *verbose {
+			for _, s := range res.Suppressed {
+				fmt.Printf("%s: [%s] suppressed: %s (reason: %s)\n",
+					pkg.Fset.Position(s.Pos), s.Rule, s.Message, s.Reason)
+			}
+		}
+	}
+
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	if len(diags) > 0 {
+		var rules []string
+		for r := range byRule {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		fmt.Fprintf(os.Stderr, "ciovet: %d diagnostic(s)", len(diags))
+		for _, r := range rules {
+			fmt.Fprintf(os.Stderr, " %s=%d", r, byRule[r])
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(1)
+	}
+	if *verbose || len(suppressed) > 0 {
+		fmt.Printf("ciovet: clean (%d analyzer(s), %d package(s), %d suppression(s))\n",
+			len(suite), len(pkgs), len(suppressed))
+	}
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confio/internal/analysis"
+)
+
+// TestAllowDirectives exercises the //ciovet:allow machinery end to end on
+// the allowdir corpus: malformed directives become diagnostics, directives
+// naming the wrong rule suppress nothing, and well-formed (including
+// wildcard) directives move findings into the suppressed set with their
+// reasons preserved.
+func TestAllowDirectives(t *testing.T) {
+	pkg, err := analysis.LoadTestdata(filepath.Join("testdata", "src"), "allowdir")
+	if err != nil {
+		t.Fatalf("loading allowdir corpus: %v", err)
+	}
+	res, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.MaskIdxAnalyzer})
+	if err != nil {
+		t.Fatalf("running maskidx on allowdir: %v", err)
+	}
+
+	line := func(d analysis.Diagnostic) int { return pkg.Fset.Position(d.Pos).Line }
+
+	var allowDiags, maskDiags []analysis.Diagnostic
+	for _, d := range res.Diagnostics {
+		switch d.Rule {
+		case "allow":
+			allowDiags = append(allowDiags, d)
+		case "maskidx":
+			maskDiags = append(maskDiags, d)
+		default:
+			t.Errorf("unexpected rule %q: %s", d.Rule, d.Message)
+		}
+	}
+
+	// Two malformed directives: one missing the rule, one missing the reason.
+	if len(allowDiags) != 2 {
+		t.Fatalf("got %d allow diagnostics, want 2: %v", len(allowDiags), allowDiags)
+	}
+	if !strings.Contains(allowDiags[0].Message, "missing a rule name") {
+		t.Errorf("first allow diagnostic = %q, want missing-rule complaint", allowDiags[0].Message)
+	}
+	if !strings.Contains(allowDiags[1].Message, "needs a reason") {
+		t.Errorf("second allow diagnostic = %q, want missing-reason complaint", allowDiags[1].Message)
+	}
+
+	// Malformed or wrong-rule directives must not suppress: the maskidx
+	// finding in MissingRule, MissingReason, and WrongRule still fires.
+	if len(maskDiags) != 3 {
+		t.Fatalf("got %d maskidx diagnostics, want 3 (MissingRule, MissingReason, WrongRule): %v",
+			len(maskDiags), maskDiags)
+	}
+
+	// The exact and wildcard directives suppress, with reasons on record.
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("got %d suppressions, want 2 (Suppressed, Wildcard): %v",
+			len(res.Suppressed), res.Suppressed)
+	}
+	for _, s := range res.Suppressed {
+		if s.Rule != "maskidx" {
+			t.Errorf("suppression at line %d has rule %q, want maskidx", line(s.Diagnostic), s.Rule)
+		}
+		if s.Reason == "" {
+			t.Errorf("suppression at line %d lost its reason", line(s.Diagnostic))
+		}
+	}
+}

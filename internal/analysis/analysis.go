@@ -1,0 +1,129 @@
+// Package analysis is confio's static-analysis layer: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis driver model, plus
+// the ciovet analyzer suite that mechanically enforces the paper's
+// trust-boundary hardening rules (single fetch, masked indexing, fail-dead
+// violation handling, revocation-vs-copy escape discipline).
+//
+// The framework mirrors the upstream API shape (Analyzer, Pass, Diagnostic)
+// so the suite can be ported onto x/tools unchanged once the dependency is
+// available; it is built on go/ast + go/types only because this build
+// environment is offline.
+//
+// Suppression: a deliberate violation — adversarial code in internal/attack,
+// or a legacy driver path that exists to model an unsafe baseline — opts out
+// loudly with a directive comment on the flagged line or the line above:
+//
+//	//ciovet:allow <rule> <reason...>
+//
+// A directive with no reason is itself a diagnostic: opting out of a
+// hardening rule must be auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one ciovet rule: a named, documented check that runs
+// over a single type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and in
+	// //ciovet:allow directives.
+	Name string
+	// Doc describes what the rule enforces and which paper principle /
+	// Fig. 2-4 bug class it is grounded in.
+	Doc string
+	// Run applies the rule to one package via the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, attributed to the rule that produced it.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Suppression records a diagnostic that was silenced by a
+// //ciovet:allow directive, so drivers can count and audit opt-outs.
+type Suppression struct {
+	Diagnostic
+	Reason string
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow       allowIndex
+	diagnostics []Diagnostic
+	suppressed  []Suppression
+}
+
+// Reportf records a diagnostic at pos unless an in-scope //ciovet:allow
+// directive for this rule suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, Rule: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	if reason, ok := p.allow.match(p.Fset, pos, p.Analyzer.Name); ok {
+		p.suppressed = append(p.suppressed, Suppression{Diagnostic: d, Reason: reason})
+		return
+	}
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Result is the outcome of running a set of analyzers over one package.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Suppression
+}
+
+// Package is one loaded, type-checked compilation unit ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies each analyzer to pkg and merges their findings. Malformed
+// //ciovet:allow directives (missing rule or reason) are reported as
+// diagnostics under the rule name "allow".
+func Run(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	var res Result
+	allow, bad := buildAllowIndex(pkg.Fset, pkg.Files)
+	res.Diagnostics = append(res.Diagnostics, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			allow:     allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return res, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+		res.Diagnostics = append(res.Diagnostics, pass.diagnostics...)
+		res.Suppressed = append(res.Suppressed, pass.suppressed...)
+	}
+	return res, nil
+}
+
+// Suite returns the full ciovet analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		DoubleFetchAnalyzer,
+		MaskIdxAnalyzer,
+		FatalViolationAnalyzer,
+		SharedEscapeAnalyzer,
+	}
+}

@@ -1,0 +1,111 @@
+// Package analysistest runs a ciovet analyzer over a GOPATH-style test
+// corpus and checks its diagnostics against `// want "regexp"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the local
+// framework. Corpus packages live under testdata/src/<pkg> and may import
+// the stub packages (shmem, safering, errors) that sit alongside them;
+// everything resolves inside the corpus, so no compiled stdlib is needed.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"confio/internal/analysis"
+)
+
+// want is one expectation attached to a source line.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each corpus package, applies the analyzer, and reports any
+// mismatch between produced diagnostics and // want comments: a diagnostic
+// with no matching want, or a want with no matching diagnostic, fails t.
+// Suppressed diagnostics (via //ciovet:allow) must not have want comments —
+// the corpus treats them as silenced, exactly as the driver does.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		pkg, err := analysis.LoadTestdata(srcRoot, path)
+		if err != nil {
+			t.Fatalf("loading corpus %s: %v", path, err)
+		}
+		res, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("corpus %s: %v", path, err)
+		}
+
+		for _, d := range res.Diagnostics {
+			p := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			if !claim(wants[key], d.Message) {
+				t.Errorf("%s: unexpected diagnostic [%s] %s", p, d.Rule, d.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+				}
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want whose regexp matches msg.
+func claim(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses trailing `// want "re1" "re2"` comments, keyed by
+// file:line of the comment itself.
+func collectWants(pkg *analysis.Package) (map[string][]*want, error) {
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				p := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q", positionString(p), c.Text)
+					}
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", positionString(p), err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", positionString(p), err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func positionString(p token.Position) string { return p.String() }

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FatalViolationAnalyzer enforces the paper's stateless / fail-dead
+// principle: there are no recoverable interface errors, so a detected
+// protocol violation must terminate use of the endpoint (return, panic,
+// kill), never be logged-and-continued, and never be discarded. Fig. 2
+// hardening commits repeatedly add exactly this "treat it as fatal"
+// behaviour after the fact; the analyzer makes regressing it a build error.
+var FatalViolationAnalyzer = &Analyzer{
+	Name: "fatalviolation",
+	Doc: "flags protocol-violation errors that are handled non-fatally or " +
+		"discarded; a violation must kill the endpoint (fail-dead)",
+	Run: runFatalViolation,
+}
+
+// protocolErrNames are the package-level sentinel errors that mark a fatal
+// peer-protocol violation across the module's transports.
+var protocolErrNames = map[string]bool{
+	"ErrProtocol": true, // safering, blkring
+	"ErrChannel":  true, // netvsc
+}
+
+// endpointMethodNames are the transport operations whose error result can
+// carry a fatal violation; discarding it hides a dead endpoint.
+var endpointMethodNames = map[string]bool{
+	"Send": true, "Recv": true, "Reap": true, "Pop": true, "Push": true,
+}
+
+// endpointPkgSuffixes are the packages whose endpoint types the discard
+// rule applies to.
+var endpointPkgSuffixes = []string{"safering", "blkring", "virtio", "netvsc"}
+
+func runFatalViolation(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.IfStmt:
+				checkViolationBranch(pass, st)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "result ignored")
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && allBlank(st.Lhs) {
+					if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+						checkDiscardedCall(pass, call, "assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkViolationBranch inspects `if errors.Is(err, ErrProtocol)`-shaped
+// statements: the branch taken when the violation IS present must
+// terminate control flow.
+func checkViolationBranch(pass *Pass, st *ast.IfStmt) {
+	cond := st.Cond
+	negated := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond, negated = u.X, true
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok || !isErrorsIsProtocol(pass.TypesInfo, call) {
+		return
+	}
+	if !negated {
+		if !terminates(st.Body) {
+			pass.Reportf(st.Pos(),
+				"protocol violation detected but handled non-fatally: the branch must return, panic, "+
+					"or kill the endpoint (fail-dead principle)")
+		}
+		return
+	}
+	// `if !errors.Is(err, ErrProtocol) { ... } else { ... }`: the else arm
+	// is the violation path. Without an else we cannot tell what follows,
+	// so stay quiet.
+	if els, ok := st.Else.(*ast.BlockStmt); ok && !terminates(els) {
+		pass.Reportf(st.Else.Pos(),
+			"protocol-violation branch falls through: it must return, panic, or kill the endpoint")
+	}
+}
+
+// isErrorsIsProtocol matches errors.Is(x, <pkg>.ErrProtocol) (or ErrChannel)
+// including stub errors packages in test corpora.
+func isErrorsIsProtocol(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" || len(call.Args) != 2 {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || !pkgHasSuffix(obj.Pkg(), "errors") {
+		return false
+	}
+	return isProtocolErr(info, call.Args[1])
+}
+
+// isProtocolErr reports whether e names a protocol-class sentinel error.
+func isProtocolErr(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return protocolErrNames[obj.Name()]
+}
+
+// checkDiscardedCall flags endpoint operations whose error result is thrown
+// away: a fatal violation returned there would go unnoticed and the caller
+// would keep driving a dead endpoint.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !endpointMethodNames[sel.Sel.Name] {
+		return
+	}
+	si, ok := pass.TypesInfo.Selections[sel]
+	if !ok || si.Kind() != types.MethodVal {
+		return
+	}
+	n := namedType(si.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return
+	}
+	for _, suffix := range endpointPkgSuffixes {
+		if pkgHasSuffix(n.Obj().Pkg(), suffix) {
+			pass.Reportf(call.Pos(),
+				"%s.%s %s: its error can be a fatal protocol violation and must be checked (fail-dead principle)",
+				n.Obj().Name(), sel.Sel.Name, how)
+			return
+		}
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}

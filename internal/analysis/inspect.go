@@ -1,0 +1,94 @@
+package analysis
+
+import "go/ast"
+
+// walkStack traverses root in source order, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+// fn returns false to skip the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}
+
+// eachFunc invokes fn once per function body in the file: every FuncDecl
+// and every FuncLit, each with its own body so that per-function analyses
+// do not bleed across closure boundaries.
+func eachFunc(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Name.Name, d.Body)
+			}
+		case *ast.FuncLit:
+			fn("func literal", d.Body)
+		}
+		return true
+	})
+}
+
+// exclusiveBranches reports whether the node on pathA cannot flow to the
+// node on pathB within one execution: they sit in the two arms of an if,
+// in different cases of a switch/select, or pathA passes through a branch
+// body that terminates (returns/panics) before pathB's code is reached.
+// pathA must belong to the earlier node in source order.
+func exclusiveBranches(pathA, pathB []ast.Node) bool {
+	n := len(pathA)
+	if len(pathB) < n {
+		n = len(pathB)
+	}
+	i := 0
+	for i < n && pathA[i] == pathB[i] {
+		i++
+	}
+	if i == 0 || i >= len(pathA) || i >= len(pathB) {
+		return false
+	}
+	switch parent := pathA[i-1].(type) {
+	case *ast.IfStmt:
+		a, b := pathA[i], pathB[i]
+		inBody := func(x ast.Node) bool { return x == parent.Body }
+		inElse := func(x ast.Node) bool { return x == parent.Else }
+		if (inBody(a) && inElse(b)) || (inElse(a) && inBody(b)) {
+			return true
+		}
+	case *ast.BlockStmt:
+		// Different case/comm clauses of one switch/select are exclusive
+		// (ignoring fallthrough, which shared-memory code does not use).
+		if i >= 2 {
+			switch pathA[i-2].(type) {
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if pathA[i] != pathB[i] {
+					return true
+				}
+			}
+		}
+	}
+	// The earlier node sits inside a branch whose body terminates
+	// (e.g. `if copies { ...; return }`): control cannot continue from it
+	// to the later node outside that branch.
+	for j := i; j < len(pathA)-1; j++ {
+		switch br := pathA[j].(type) {
+		case *ast.IfStmt:
+			if body, ok := pathA[j+1].(*ast.BlockStmt); ok && body == br.Body && terminates(body) {
+				return true
+			}
+		case *ast.CaseClause:
+			if len(br.Body) > 0 && stmtTerminates(br.Body[len(br.Body)-1]) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadModule loads and type-checks the packages matching patterns (e.g.
+// "./...") in the enclosing module, in dependency-light fashion: target
+// packages are parsed from source, while their imports are satisfied from
+// compiler export data produced by `go list -export`. This is the offline
+// equivalent of x/tools' packages.Load(LoadSyntax).
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFor := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Name == "" || len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// check type-checks one package with a fresh types.Info.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// srcImporter resolves imports entirely within a GOPATH-style source root —
+// used for self-contained analyzer test corpora under testdata/src, which
+// must not depend on compiled export data (stub "errors"/"shmem"/"safering"
+// packages live alongside the test packages).
+type srcImporter struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func (si *srcImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	if si.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	si.loading[path] = true
+	defer delete(si.loading, path)
+
+	files, _, err := parseDir(si.fset, filepath.Join(si.root, filepath.FromSlash(path)))
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := check(si.fset, path, files, si)
+	if err != nil {
+		return nil, err
+	}
+	si.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file in dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, names, nil
+}
+
+// LoadTestdata loads the package at srcRoot/pkgPath with all of its imports
+// resolved from srcRoot, GOPATH-style.
+func LoadTestdata(srcRoot, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	si := &srcImporter{root: srcRoot, fset: fset, pkgs: map[string]*types.Package{}, loading: map[string]bool{}}
+	files, _, err := parseDir(fset, filepath.Join(srcRoot, filepath.FromSlash(pkgPath)))
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := check(fset, pkgPath, files, si)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaskIdxAnalyzer enforces the paper's masked-index rule (ring design
+// principle: "out-of-range is unrepresentable by construction"; Fig. 2-4
+// bug class: missing validation of host-controlled indices/lengths, the
+// class VIA found by fuzzing protected-VM device interfaces). Any value
+// that flows from host-writable shared memory — descriptor fields, index
+// cells, region loads — must pass through a mask (&, %) or a terminating
+// bounds check before it is used to index, slice, size an allocation, or
+// take a contiguous region view.
+var MaskIdxAnalyzer = &Analyzer{
+	Name: "maskidx",
+	Doc: "flags indexing/slicing/allocation driven by host-controlled values " +
+		"that were neither masked nor bounds-checked on a path that rejects violations",
+	Run: runMaskIdx,
+}
+
+func runMaskIdx(pass *Pass) error {
+	for _, file := range pass.Files {
+		eachFunc(file, func(name string, body *ast.BlockStmt) {
+			fs := newFuncScope(pass.TypesInfo)
+			walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+					return false
+				}
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					maskIdxAssign(fs, st)
+				case *ast.ValueSpec:
+					for i, id := range st.Names {
+						var rhs ast.Expr
+						if i < len(st.Values) {
+							rhs = st.Values[i]
+						}
+						fs.markAssign(id, rhs, st.Pos())
+					}
+				case *ast.IfStmt:
+					maskIdxGuard(fs, st.Cond, st.Body, st.End())
+				case *ast.SwitchStmt:
+					for _, c := range st.Body.List {
+						cc := c.(*ast.CaseClause)
+						guardBody := &ast.BlockStmt{List: cc.Body}
+						for _, cond := range cc.List {
+							maskIdxGuard(fs, cond, guardBody, st.End())
+						}
+					}
+				case *ast.IndexExpr:
+					if indexableSink(pass.TypesInfo, st.X) && fs.taintedExpr(st.Index, st.Pos()) {
+						pass.Reportf(st.Index.Pos(),
+							"host-controlled value indexes %s without mask or bounds check; "+
+								"mask it (idx & (n-1)) or validate and fail-dead first",
+							exprString(pass.Fset, st.X))
+					}
+				case *ast.SliceExpr:
+					for _, b := range []ast.Expr{st.Low, st.High, st.Max} {
+						if b != nil && fs.taintedExpr(b, st.Pos()) {
+							pass.Reportf(b.Pos(),
+								"host-controlled value bounds a slice of %s without mask or bounds check",
+								exprString(pass.Fset, st.X))
+						}
+					}
+				case *ast.CallExpr:
+					maskIdxCall(pass, fs, st)
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// maskIdxAssign propagates taint through an assignment statement,
+// including tuple assignment from a single host-controlled call and
+// op= forms (&= and %= sanitize; other ops propagate).
+func maskIdxAssign(fs *funcScope, st *ast.AssignStmt) {
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		// x, y := call(): a host-controlled call taints every binding.
+		tainted := fs.taintedExpr(st.Rhs[0], st.Pos())
+		for _, l := range st.Lhs {
+			if o := fs.obj(l); o != nil {
+				if tainted {
+					fs.taintVar(o)
+				} else {
+					fs.clearVar(o)
+				}
+			}
+		}
+		return
+	}
+	switch st.Tok {
+	case token.AND_ASSIGN, token.REM_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		// x &= mask sanitizes.
+		for _, l := range st.Lhs {
+			if o := fs.obj(l); o != nil {
+				fs.clearVar(o)
+			}
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+		for i, l := range st.Lhs {
+			if i < len(st.Rhs) {
+				fs.markAssign(l, st.Rhs[i], st.Pos())
+			}
+		}
+	default:
+		// x += y etc.: taint if either side is tainted.
+		for i, l := range st.Lhs {
+			if i < len(st.Rhs) && fs.taintedExpr(st.Rhs[i], st.Pos()) {
+				if o := fs.obj(l); o != nil {
+					fs.taintVar(o)
+				}
+			}
+		}
+	}
+}
+
+// maskIdxGuard records that quantities compared in cond count as validated
+// once the comparison has executed, provided the guarded body terminates
+// (the fail-dead shape: `if hostVal > bound { return fail }`). Validation
+// takes effect from the end of the comparison itself so the short-circuit
+// idiom `idx >= n || !seen[idx]` counts as guarded. A guard that merely
+// logs and continues validates nothing.
+func maskIdxGuard(fs *funcScope, cond ast.Expr, body *ast.BlockStmt, endPos token.Pos) {
+	if cond == nil || !terminates(body) {
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LAND, token.LOR:
+				walk(x.X)
+				walk(x.Y)
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					markValidated(fs, side, x.End())
+				}
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		}
+	}
+	walk(cond)
+}
+
+// markValidated marks every tainted variable — and every host-controlled
+// snapshot field like d.Len — mentioned in e as validated for uses after
+// pos. Field validation is per-field: checking d.Len says nothing about
+// d.Ref.
+func markValidated(fs *funcScope, e ast.Expr, pos token.Pos) {
+	var walk func(n ast.Expr)
+	walk = func(n ast.Expr) {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if hostSource(fs.info, x) {
+				if id, ok := x.X.(*ast.Ident); ok {
+					if o := fs.obj(id); o != nil {
+						fs.validated[vkey{o, x.Sel.Name}] = pos
+						return
+					}
+				}
+			}
+			walk(x.X)
+		case *ast.Ident:
+			if o := fs.obj(x); o != nil && fs.tainted[o] {
+				fs.validated[vkey{o, ""}] = pos
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ast.IndexExpr:
+			walk(x.X)
+			walk(x.Index)
+		}
+	}
+	walk(e)
+}
+
+// maskIdxCall flags host-controlled sizes in allocations and contiguous
+// region views, the two call-shaped sinks.
+func maskIdxCall(pass *Pass, fs *funcScope, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+		for _, sz := range call.Args[1:] {
+			if fs.taintedExpr(sz, call.Pos()) {
+				pass.Reportf(sz.Pos(),
+					"host-controlled value sizes an allocation; cap it against a trusted bound first")
+			}
+		}
+		return
+	}
+	// Region.Slice(off, n): off is masked inside, but n panics on wrap —
+	// a host-controlled n is a remotely triggerable crash.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Slice" && len(call.Args) == 2 {
+		if si, ok := pass.TypesInfo.Selections[sel]; ok && si.Kind() == types.MethodVal && typeIs(si.Recv(), "shmem", "Region") {
+			if fs.taintedExpr(call.Args[1], call.Pos()) {
+				pass.Reportf(call.Args[1].Pos(),
+					"host-controlled length reaches Region.Slice, which panics on wrap; validate it first")
+			}
+		}
+	}
+}
+
+// indexableSink reports whether indexing into x needs bounds discipline
+// (slices, arrays, strings — not maps, whose keys need no range check).
+func indexableSink(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch u := t.(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

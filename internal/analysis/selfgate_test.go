@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"confio/internal/analysis"
+)
+
+// TestModuleIsCiovetClean runs the full suite over the whole module, making
+// `go test ./...` itself the enforcement point: a new unsuppressed finding
+// anywhere in confio fails this test with the same output ciovet prints.
+func TestModuleIsCiovetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide analysis load skipped in -short mode")
+	}
+	pkgs, err := analysis.LoadModule("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	suite := analysis.Suite()
+	for _, pkg := range pkgs {
+		res, err := analysis.Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedEscapeAnalyzer enforces the paper's revocation-vs-copy discipline
+// (crossing principle: data leaves shared custody by exactly one early copy
+// or by page revocation). A sub-slice obtained from a shared region aliases
+// host-writable bytes; letting it outlive the local scope — returned to a
+// caller, stored in a struct or global — reopens the TOCTOU window the
+// single-fetch rule closed. Deliberate in-place use after revocation must
+// carry a //ciovet:allow annotation naming the revocation.
+var SharedEscapeAnalyzer = &Analyzer{
+	Name: "sharedescape",
+	Doc: "flags shared-region sub-slices that escape the function (returned or " +
+		"stored) without an explicit copy or revocation annotation",
+	Run: runSharedEscape,
+}
+
+func runSharedEscape(pass *Pass) error {
+	for _, file := range pass.Files {
+		eachFunc(file, func(name string, body *ast.BlockStmt) {
+			// Pass 1: find Region.Slice results and the locals they bind to.
+			viewVars := map[types.Object]bool{}
+			for changed := true; changed; {
+				changed = false
+				walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+					if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+						return false
+					}
+					st, ok := n.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					for i, l := range st.Lhs {
+						if i >= len(st.Rhs) {
+							break
+						}
+						id, ok := l.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						o := pass.TypesInfo.Defs[id]
+						if o == nil {
+							o = pass.TypesInfo.Uses[id]
+						}
+						if o == nil || viewVars[o] {
+							continue
+						}
+						if isRegionView(pass.TypesInfo, viewVars, st.Rhs[i]) {
+							viewVars[o] = true
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+
+			// Pass 2: flag escapes of view expressions.
+			walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+					return false
+				}
+				switch st := n.(type) {
+				case *ast.ReturnStmt:
+					for _, res := range st.Results {
+						reportViewIn(pass, viewVars, res, "returned to the caller")
+					}
+					return false
+				case *ast.AssignStmt:
+					for i, l := range st.Lhs {
+						if i >= len(st.Rhs) {
+							break
+						}
+						if escapingLHS(pass.TypesInfo, l) {
+							reportViewIn(pass, viewVars, st.Rhs[i], "stored beyond the local scope")
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isRegionView reports whether e is a view into shared memory: a
+// Region.Slice call, a known view variable, or a re-slice of either.
+func isRegionView(info *types.Info, viewVars map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		o := info.Uses[x]
+		return o != nil && viewVars[o]
+	case *ast.CallExpr:
+		recv, method, ok := sharedRead(info, x)
+		if ok && method == "Slice" {
+			_ = recv
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return isRegionView(info, viewVars, x.X)
+	case *ast.ParenExpr:
+		return isRegionView(info, viewVars, x.X)
+	}
+	return false
+}
+
+// reportViewIn reports any shared view reachable in e without passing
+// through a function call (a call may copy; we stay quiet rather than
+// guess). Composite literals and unary & do not copy, so views inside
+// them still escape.
+func reportViewIn(pass *Pass, viewVars map[types.Object]bool, e ast.Expr, how string) {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SliceExpr:
+		if isRegionView(pass.TypesInfo, viewVars, e) {
+			pass.Reportf(e.Pos(),
+				"sub-slice of a shared region %s: it aliases host-writable memory; "+
+					"copy it out or revoke the pages (and annotate) first", how)
+		}
+	case *ast.CallExpr:
+		if isRegionView(pass.TypesInfo, viewVars, e) { // direct Region.Slice(...)
+			pass.Reportf(e.Pos(),
+				"Region.Slice result %s without a copy: it aliases host-writable memory", how)
+		}
+		// Other calls: assume the callee copies.
+	case *ast.UnaryExpr:
+		reportViewIn(pass, viewVars, x.X, how)
+	case *ast.ParenExpr:
+		reportViewIn(pass, viewVars, x.X, how)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				reportViewIn(pass, viewVars, kv.Value, how)
+			} else {
+				reportViewIn(pass, viewVars, el, how)
+			}
+		}
+	}
+}
+
+// escapingLHS reports whether assigning to l publishes the value beyond
+// function-local variables: struct fields, slice/map elements, package
+// globals, and dereferenced pointers all escape.
+func escapingLHS(info *types.Info, l ast.Expr) bool {
+	switch x := l.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		o := info.Uses[x]
+		if o == nil {
+			o = info.Defs[x]
+		}
+		// Package-level variable?
+		return o != nil && o.Pkg() != nil && o.Parent() == o.Pkg().Scope()
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"confio/internal/analysis"
+	"confio/internal/analysis/analysistest"
+)
+
+func corpus() string { return filepath.Join("testdata", "src") }
+
+func TestDoubleFetch(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.DoubleFetchAnalyzer, "doublefetch")
+}
+
+func TestMaskIdx(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.MaskIdxAnalyzer, "maskidx")
+}
+
+func TestFatalViolation(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.FatalViolationAnalyzer, "fatalviolation")
+}
+
+func TestSharedEscape(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.SharedEscapeAnalyzer, "sharedescape")
+}
+
+// TestSuite pins the rule inventory: renaming or dropping an analyzer is a
+// deliberate act, not a refactoring accident.
+func TestSuite(t *testing.T) {
+	want := []string{"doublefetch", "maskidx", "fatalviolation", "sharedescape"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q must carry Doc and Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The analyzers recognise the trust-boundary types structurally — by package
+// suffix plus type name — so the same rules apply to the real module
+// ("confio/internal/shmem".Region) and to the stub packages in the test
+// corpora ("shmem".Region).
+
+// pkgHasSuffix reports whether pkg's import path is suffix or ends in
+// "/suffix".
+func pkgHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeIs reports whether t (possibly behind pointers) is the named type
+// name defined in a package whose path ends in pkgSuffix.
+func typeIs(t types.Type, pkgSuffix, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pkgHasSuffix(n.Obj().Pkg(), pkgSuffix)
+}
+
+// exprString renders an expression in canonical gofmt form, used to compare
+// receiver/offset expressions syntactically across fetch sites.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// sharedReadMethods lists (receiver type predicate, method names) pairs that
+// constitute a fetch from host-writable shared memory.
+var regionReadMethods = map[string]bool{
+	"Byte": true, "U16": true, "U32": true, "U64": true,
+	"ReadAt": true, "Slice": true,
+}
+
+var indexLoadMethods = map[string]bool{
+	"LoadProd": true, "LoadCons": true,
+}
+
+// ringSnapshotMethods are descriptor/payload fetches on ring types. They are
+// the sanctioned single-fetch accessors, so calling one twice for the same
+// position in one function is itself a double fetch.
+var ringSnapshotMethods = map[string]bool{
+	"ReadDesc": true, "ReadInline": true, "UsedEntry": true,
+}
+
+// sharedRead classifies a call expression as a fetch from shared memory.
+// It returns the receiver expression and a stable kind string, or ok=false.
+func sharedRead(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, k := call.Fun.(*ast.SelectorExpr)
+	if !k {
+		return nil, "", false
+	}
+	selInfo, k := info.Selections[sel]
+	if !k || selInfo.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	recvType := selInfo.Recv()
+	switch {
+	case typeIs(recvType, "shmem", "Region") && regionReadMethods[name]:
+		return sel.X, name, true
+	case typeIs(recvType, "safering", "Indexes") && indexLoadMethods[name]:
+		return sel.X, name, true
+	case ringSnapshotMethods[name] && inModulePackage(selInfo.Obj()):
+		return sel.X, name, true
+	}
+	return nil, "", false
+}
+
+// inModulePackage reports whether obj is declared outside the standard
+// library (i.e. in this module or a test corpus stub).
+func inModulePackage(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "" {
+		return false
+	}
+	// Standard library paths have no dot in their first element and are
+	// never under confio/ or a bare testdata package. Cheap heuristic:
+	// module packages here are "confio/..." or single-element stub paths.
+	return strings.HasPrefix(path, "confio/") || !strings.Contains(path, ".") && !strings.Contains(path, "/")
+}
+
+// hostSource reports whether expr is, by itself, a host-controlled value:
+// a field read of a safering.Desc (Len/Kind/Ref), a Region load, or an
+// Indexes load. Ring snapshot calls (ReadDesc) are not sources themselves —
+// their *fields* are, which keeps the snapshot struct usable as a local.
+func hostSource(info *types.Info, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		selInfo, ok := info.Selections[e]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return false
+		}
+		base := selInfo.Recv()
+		name := e.Sel.Name
+		return typeIs(base, "safering", "Desc") && (name == "Len" || name == "Ref" || name == "Kind")
+	case *ast.CallExpr:
+		_, m, ok := sharedRead(info, e)
+		if !ok {
+			return false
+		}
+		// ReadAt fills a caller buffer; its result list is empty. The
+		// value-returning fetches are the taint sources.
+		return m != "ReadAt"
+	}
+	return false
+}
+
+// vkey identifies a validated quantity: a whole variable (field == "") or
+// one host-controlled field of a snapshot struct (e.g. d.Len), so that
+// checking d.Len does not launder d.Ref.
+type vkey struct {
+	obj   types.Object
+	field string
+}
+
+// funcScope is the per-function state for the ordered, flow-insensitive
+// taint walk shared by maskidx: a set of tainted variables plus positions
+// after which a variable or snapshot field counts as bounds-validated.
+type funcScope struct {
+	info      *types.Info
+	tainted   map[types.Object]bool
+	validated map[vkey]token.Pos // validated for uses after this pos
+}
+
+func newFuncScope(info *types.Info) *funcScope {
+	return &funcScope{
+		info:      info,
+		tainted:   make(map[types.Object]bool),
+		validated: make(map[vkey]token.Pos),
+	}
+}
+
+// obj resolves an identifier to its object.
+func (fs *funcScope) obj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := fs.info.Uses[id]; o != nil {
+		return o
+	}
+	return fs.info.Defs[id]
+}
+
+// taintedExpr reports whether e carries host-controlled taint at pos:
+// it is a source, mentions a tainted-and-not-yet-validated variable, or is
+// built from one by arithmetic/conversion. Masking (&), modulo (%), and
+// shifts right (>>) sanitize the whole expression.
+func (fs *funcScope) taintedExpr(e ast.Expr, pos token.Pos) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		o := fs.obj(x)
+		if o == nil || !fs.tainted[o] {
+			return false
+		}
+		if v, ok := fs.validated[vkey{o, ""}]; ok && pos > v {
+			return false
+		}
+		return true
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AND, token.REM, token.AND_NOT, token.SHR:
+			return false // masked / reduced: bounded by construction
+		}
+		return fs.taintedExpr(x.X, pos) || fs.taintedExpr(x.Y, pos)
+	case *ast.ParenExpr:
+		return fs.taintedExpr(x.X, pos)
+	case *ast.UnaryExpr:
+		return fs.taintedExpr(x.X, pos)
+	case *ast.SelectorExpr:
+		if !hostSource(fs.info, x) {
+			return false
+		}
+		// A host-controlled snapshot field is clean after a terminating
+		// bounds check on that same field (per-field validation).
+		if id, ok := x.X.(*ast.Ident); ok {
+			if o := fs.obj(id); o != nil {
+				if v, ok := fs.validated[vkey{o, x.Sel.Name}]; ok && pos > v {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		if hostSource(fs.info, x) {
+			return true
+		}
+		// A conversion propagates taint; min()/max() style capping
+		// against an untainted bound sanitizes.
+		if fs.isConversion(x) && len(x.Args) == 1 {
+			return fs.taintedExpr(x.Args[0], pos)
+		}
+		if id := calleeName(x); id == "min" || id == "minU32" || id == "max" {
+			for _, a := range x.Args {
+				if !fs.taintedExpr(a, pos) {
+					return false // capped by a trusted bound
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		return fs.taintedExpr(x.X, pos)
+	}
+	return false
+}
+
+func (fs *funcScope) isConversion(call *ast.CallExpr) bool {
+	tv, ok := fs.info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// taintVar marks o host-controlled, resetting any stale validation.
+func (fs *funcScope) taintVar(o types.Object) {
+	fs.tainted[o] = true
+	fs.dropValidation(o)
+}
+
+// clearVar marks o clean (overwritten with a trusted value).
+func (fs *funcScope) clearVar(o types.Object) {
+	delete(fs.tainted, o)
+	fs.dropValidation(o)
+}
+
+func (fs *funcScope) dropValidation(o types.Object) {
+	for k := range fs.validated {
+		if k.obj == o {
+			delete(fs.validated, k)
+		}
+	}
+}
+
+// markAssign propagates taint through one assignment of rhs to lhs.
+func (fs *funcScope) markAssign(lhs, rhs ast.Expr, pos token.Pos) {
+	o := fs.obj(lhs)
+	if o == nil {
+		return
+	}
+	if rhs != nil && fs.taintedExpr(rhs, pos) {
+		fs.taintVar(o)
+	} else if fs.tainted[o] {
+		// Overwritten with a clean value.
+		fs.clearVar(o)
+	}
+}
+
+// terminates reports whether a block ends control flow on every syntactic
+// path that stays inside it: its last statement is a return, panic-like
+// call, or a loop-control jump.
+func terminates(block *ast.BlockStmt) bool {
+	if block == nil || len(block.List) == 0 {
+		return false
+	}
+	return stmtTerminates(block.List[len(block.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			switch n := calleeName(call); n {
+			case "panic", "Fatal", "Fatalf", "Exit", "Goexit", "Fail", "FailNow", "Skip", "Skipf":
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if st.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e)
+		case *ast.IfStmt:
+			elseTerm = stmtTerminates(e)
+		}
+		return terminates(st.Body) && elseTerm
+	case *ast.BlockStmt:
+		return terminates(st)
+	}
+	return false
+}

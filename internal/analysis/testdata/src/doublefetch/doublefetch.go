@@ -1,0 +1,102 @@
+// Corpus for the doublefetch analyzer: the single-fetch rule.
+package doublefetch
+
+import (
+	"safering"
+	"shmem"
+)
+
+// BadRereadRaw interprets a length, then re-reads the same shared offset:
+// the classic TOCTOU double fetch.
+func BadRereadRaw(r *shmem.Region, off uint64, dst []byte) {
+	n := r.U32(off)
+	if n > 64 {
+		n = 64
+	}
+	m := r.U32(off) // want "double fetch of shared location r"
+	_ = n
+	_ = m
+}
+
+// BadRereadDesc snapshots the same descriptor twice.
+func BadRereadDesc(ring *safering.Ring) uint32 {
+	a := ring.ReadDesc(3)
+	b := ring.ReadDesc(3) // want "double fetch of shared location ring"
+	return a.Len + b.Len
+}
+
+// BadRereadPayload copies the same inline payload twice.
+func BadRereadPayload(ring *safering.Ring, dst []byte) {
+	ring.ReadInline(7, dst)
+	ring.ReadInline(7, dst) // want "double fetch of shared location ring"
+}
+
+// GoodSnapshot reads once and interprets only the local copy.
+func GoodSnapshot(r *shmem.Region, off uint64) uint32 {
+	n := r.U32(off)
+	if n > 64 {
+		return 64
+	}
+	return n
+}
+
+// GoodDistinctOffsets reads different fields of one slot.
+func GoodDistinctOffsets(r *shmem.Region, off uint64) uint64 {
+	lo := r.U32(off)
+	hi := r.U32(off + 4)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// GoodDescThenPayload is the sanctioned pattern: one descriptor snapshot,
+// one payload copy for the same position — disjoint bytes, not a re-read.
+func GoodDescThenPayload(ring *safering.Ring, dst []byte) safering.Desc {
+	d := ring.ReadDesc(5)
+	ring.ReadInline(5, dst)
+	return d
+}
+
+// GoodExclusiveBranches reads the same offset in mutually exclusive arms.
+func GoodExclusiveBranches(r *shmem.Region, off uint64, wide bool) uint64 {
+	if wide {
+		return r.U64(off)
+	}
+	return uint64(r.U32(off))
+}
+
+// GoodExclusiveCases reads the same offset in different switch cases.
+func GoodExclusiveCases(r *shmem.Region, off uint64, mode int) uint64 {
+	switch mode {
+	case 0:
+		return uint64(r.U32(off))
+	case 1:
+		return r.U64(off)
+	}
+	return 0
+}
+
+// GoodTerminatingBranch reads in a branch that returns, then reads the
+// same offset on the path that only runs when the branch was not taken.
+func GoodTerminatingBranch(r *shmem.Region, off uint64, fast bool) uint64 {
+	if fast {
+		return r.U64(off)
+	}
+	v := r.U64(off)
+	return v + 1
+}
+
+// BadAcrossLoop re-reads the same fixed offset from two distinct sites,
+// one of them inside a loop.
+func BadAcrossLoop(r *shmem.Region, dst []byte) {
+	header := r.U32(0)
+	for i := 0; i < int(header)&15; i++ {
+		dst[i] = byte(r.U32(0)) // want "double fetch of shared location r"
+	}
+}
+
+// AllowedReread carries the loud opt-out annotation.
+func AllowedReread(r *shmem.Region, off uint64) uint32 {
+	a := r.U32(off)
+	//ciovet:allow doublefetch corpus exercises the suppression path
+	b := r.U32(off)
+	return a + b
+}

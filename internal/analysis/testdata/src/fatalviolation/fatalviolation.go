@@ -1,0 +1,88 @@
+// Corpus for the fatalviolation analyzer: the stateless / fail-dead rule.
+package fatalviolation
+
+import (
+	"errors"
+	"safering"
+)
+
+// BadSoftHandle detects the violation and keeps going.
+func BadSoftHandle(err error, warn func()) error { // verbose logging is not fatal
+	if errors.Is(err, safering.ErrProtocol) { // want "handled non-fatally"
+		warn()
+	}
+	return nil
+}
+
+// GoodFatalReturn propagates the violation out.
+func GoodFatalReturn(err error) error {
+	if errors.Is(err, safering.ErrProtocol) {
+		return err
+	}
+	return nil
+}
+
+// GoodFatalPanic dies on the spot.
+func GoodFatalPanic(err error) {
+	if errors.Is(err, safering.ErrProtocol) {
+		panic(err)
+	}
+}
+
+// BadNegatedFallthrough handles the benign case and lets the violation
+// fall through the else arm.
+func BadNegatedFallthrough(err error, retry, warn func()) {
+	if !errors.Is(err, safering.ErrProtocol) {
+		retry()
+	} else { // want "must return, panic, or kill the endpoint"
+		warn()
+	}
+}
+
+// GoodNegated keeps the violation fatal in the else arm.
+func GoodNegated(err error, retry func()) error {
+	if !errors.Is(err, safering.ErrProtocol) {
+		retry()
+	} else {
+		return err
+	}
+	return nil
+}
+
+// BadDiscardExpr drives the endpoint and throws the error away entirely.
+func BadDiscardExpr(ep *safering.Endpoint) {
+	ep.Send(nil) // want "error can be a fatal protocol violation"
+}
+
+// BadDiscardBlank discards the error into the blank identifier.
+func BadDiscardBlank(ep *safering.Endpoint) {
+	_ = ep.Reap() // want "error can be a fatal protocol violation"
+}
+
+// BadDiscardRecv discards both results of a receive.
+func BadDiscardRecv(ep *safering.Endpoint) {
+	_, _ = ep.Recv() // want "error can be a fatal protocol violation"
+}
+
+// GoodChecked propagates the operation's error.
+func GoodChecked(ep *safering.Endpoint) error {
+	if err := ep.Send(nil); err != nil {
+		return err
+	}
+	return ep.Reap()
+}
+
+// GoodOtherError leaves non-protocol sentinels alone.
+var errRetry = errors.New("retry")
+
+func GoodOtherError(err error, retry func()) {
+	if errors.Is(err, errRetry) {
+		retry()
+	}
+}
+
+// AllowedDiscard carries the loud opt-out annotation.
+func AllowedDiscard(ep *safering.Endpoint) {
+	//ciovet:allow fatalviolation corpus exercises the suppression path
+	ep.Send(nil)
+}

@@ -1,0 +1,121 @@
+// Corpus for the maskidx analyzer: host-controlled indices and lengths
+// must be masked or bounds-validated on a terminating path.
+package maskidx
+
+import (
+	"safering"
+	"shmem"
+)
+
+// BadIndex indexes a slice with a raw shared-memory load.
+func BadIndex(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	return arr[n] // want "host-controlled value indexes arr"
+}
+
+// BadSliceBound bounds a slice with an unvalidated descriptor length.
+func BadSliceBound(ring *safering.Ring, buf []byte) []byte {
+	d := ring.ReadDesc(0)
+	return buf[:d.Len] // want "host-controlled value bounds a slice of buf"
+}
+
+// BadMake sizes an allocation from a host-controlled load.
+func BadMake(r *shmem.Region) []byte {
+	n := r.U64(8)
+	return make([]byte, n) // want "host-controlled value sizes an allocation"
+}
+
+// BadRegionSlice passes a host-controlled length to Region.Slice, which
+// panics on wrap.
+func BadRegionSlice(r *shmem.Region, ring *safering.Ring) []byte {
+	d := ring.ReadDesc(0)
+	return r.Slice(0, int(d.Len)) // want "host-controlled length reaches Region.Slice"
+}
+
+// BadIndexLoad uses a peer-published index directly.
+func BadIndexLoad(ix *safering.Indexes, seen []bool) bool {
+	return seen[ix.LoadProd()] // want "host-controlled value indexes seen"
+}
+
+// GoodMasked masks the index so out-of-range is unrepresentable.
+func GoodMasked(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	return arr[n&63]
+}
+
+// GoodModulo reduces the index by modulo.
+func GoodModulo(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	return arr[int(n)%len(arr)]
+}
+
+// GoodValidated bounds-checks on a terminating path before use.
+func GoodValidated(ring *safering.Ring, buf []byte) []byte {
+	d := ring.ReadDesc(0)
+	if int(d.Len) > len(buf) || d.Len == 0 {
+		return nil
+	}
+	return buf[:d.Len]
+}
+
+// GoodShortCircuit uses the || guard idiom: the index on the right only
+// evaluates when the bounds test on the left passed.
+func GoodShortCircuit(r *shmem.Region, seen []bool) bool {
+	id := r.U32(4)
+	if id >= uint32(len(seen)) || !seen[id] {
+		return false
+	}
+	return true
+}
+
+// BadNonTerminatingGuard logs and continues: the check rejects nothing,
+// so the use below is still unvalidated.
+func BadNonTerminatingGuard(ring *safering.Ring, buf []byte, warn func()) []byte {
+	d := ring.ReadDesc(0)
+	if int(d.Len) > len(buf) {
+		warn()
+	}
+	return buf[:d.Len] // want "host-controlled value bounds a slice of buf"
+}
+
+// BadFieldLaundering checks d.Len but then indexes with d.Ref: validation
+// is per-field.
+func BadFieldLaundering(ring *safering.Ring, slabs []bool) bool {
+	d := ring.ReadDesc(0)
+	if d.Len == 0 || d.Len > 4096 {
+		return false
+	}
+	return slabs[d.Ref] // want "host-controlled value indexes slabs"
+}
+
+// GoodCapped caps a host length against a trusted bound via min.
+func GoodCapped(r *shmem.Region, buf []byte) []byte {
+	n := int(r.U32(0))
+	m := min(n, len(buf))
+	return buf[:m]
+}
+
+// GoodRetaintCleared overwrites the tainted variable with a trusted value.
+func GoodRetaintCleared(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	n = 3
+	return arr[n]
+}
+
+// BadRevalidateAfterRetaint re-loads after validating: the fresh load is
+// tainted again.
+func BadRevalidateAfterRetaint(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	if n >= uint32(len(arr)) {
+		return 0
+	}
+	n = r.U32(0)
+	return arr[n] // want "host-controlled value indexes arr"
+}
+
+// AllowedUnmasked carries the loud opt-out annotation.
+func AllowedUnmasked(r *shmem.Region, arr []byte) byte {
+	n := r.U32(0)
+	//ciovet:allow maskidx corpus exercises the suppression path
+	return arr[n]
+}

@@ -1,0 +1,65 @@
+// Package safering is a dependency-free stub of confio/internal/safering
+// for the analyzer test corpus.
+package safering
+
+import "shmem"
+
+type Desc struct {
+	Len  uint32
+	Kind uint32
+	Ref  uint64
+}
+
+type protocolError string
+
+func (e protocolError) Error() string { return string(e) }
+
+var ErrProtocol error = protocolError("safering: fatal protocol violation")
+
+type Indexes struct{ prod, cons uint64 }
+
+func (ix *Indexes) LoadProd() uint64   { return ix.prod }
+func (ix *Indexes) StoreProd(v uint64) { ix.prod = v }
+func (ix *Indexes) LoadCons() uint64   { return ix.cons }
+func (ix *Indexes) StoreCons(v uint64) { ix.cons = v }
+
+type Ring struct {
+	ix       Indexes
+	slots    *shmem.Region
+	nslots   uint64
+	slotSize uint64
+}
+
+func NewRing(nslots, slotSize int) *Ring {
+	return &Ring{
+		slots:    shmem.NewRegion(nslots * slotSize),
+		nslots:   uint64(nslots),
+		slotSize: uint64(slotSize),
+	}
+}
+
+func (r *Ring) Indexes() *Indexes    { return &r.ix }
+func (r *Ring) Slots() *shmem.Region { return r.slots }
+func (r *Ring) NSlots() uint64       { return r.nslots }
+
+func (r *Ring) SlotOff(idx uint64) uint64 { return (idx & (r.nslots - 1)) * r.slotSize }
+
+func (r *Ring) ReadDesc(idx uint64) Desc {
+	off := r.SlotOff(idx)
+	var d Desc
+	d.Len = r.slots.U32(off)
+	d.Kind = r.slots.U32(off + 4)
+	d.Ref = r.slots.U64(off + 8)
+	return d
+}
+
+func (r *Ring) ReadInline(idx uint64, dst []byte) { r.slots.ReadAt(dst, r.SlotOff(idx)+16) }
+
+type Endpoint struct {
+	ring *Ring
+	dead error
+}
+
+func (e *Endpoint) Recv() ([]byte, error) { return nil, e.dead }
+func (e *Endpoint) Send(b []byte) error   { return e.dead }
+func (e *Endpoint) Reap() error           { return e.dead }

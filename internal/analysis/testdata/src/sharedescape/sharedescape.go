@@ -1,0 +1,75 @@
+// Corpus for the sharedescape analyzer: the revocation-vs-copy rule.
+package sharedescape
+
+import "shmem"
+
+type frame struct {
+	data []byte
+}
+
+var stash []byte
+
+// BadDirectReturn hands the caller a live view of host-writable memory.
+func BadDirectReturn(r *shmem.Region) []byte {
+	return r.Slice(0, 16) // want "Region.Slice result returned"
+}
+
+// BadVarReturn launders the view through a local first.
+func BadVarReturn(r *shmem.Region) []byte {
+	v := r.Slice(0, 16)
+	return v // want "sub-slice of a shared region returned"
+}
+
+// BadResliceReturn re-slices the view; the alias survives.
+func BadResliceReturn(r *shmem.Region, n int) []byte {
+	v := r.Slice(0, 64)
+	return v[:n] // want "sub-slice of a shared region returned"
+}
+
+// BadFieldStore publishes the view through a struct field.
+func BadFieldStore(f *frame, r *shmem.Region) {
+	f.data = r.Slice(0, 8) // want "stored beyond the local scope"
+}
+
+// BadGlobalStore publishes the view through a package variable.
+func BadGlobalStore(r *shmem.Region) {
+	stash = r.Slice(0, 8) // want "stored beyond the local scope"
+}
+
+// BadCompositeReturn smuggles the view out inside a struct literal.
+func BadCompositeReturn(r *shmem.Region) *frame {
+	v := r.Slice(0, 32)
+	return &frame{data: v} // want "sub-slice of a shared region returned"
+}
+
+// GoodCopyOut crosses the boundary with one early copy.
+func GoodCopyOut(r *shmem.Region) []byte {
+	v := r.Slice(0, 16)
+	out := make([]byte, 16)
+	copy(out, v)
+	return out
+}
+
+// GoodAppendCopy copies via append into private memory.
+func GoodAppendCopy(r *shmem.Region) []byte {
+	return append([]byte(nil), r.Slice(0, 16)...)
+}
+
+// GoodLocalUse reads through the view without letting it escape; the
+// element load copies a scalar, not the alias.
+func GoodLocalUse(r *shmem.Region) byte {
+	v := r.Slice(0, 16)
+	return v[3]
+}
+
+// GoodCallArg passes the view to a callee, which is presumed to copy.
+func GoodCallArg(r *shmem.Region, sink func([]byte) int) int {
+	return sink(r.Slice(0, 16))
+}
+
+// AllowedRevoked carries the loud opt-out annotation a revocation-based
+// design uses.
+func AllowedRevoked(r *shmem.Region) []byte {
+	//ciovet:allow sharedescape pages revoked by the caller before this view is taken
+	return r.Slice(0, 16)
+}

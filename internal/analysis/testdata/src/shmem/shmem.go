@@ -1,0 +1,30 @@
+// Package shmem is a dependency-free stub of confio/internal/shmem for the
+// analyzer test corpus: the analyzers match types structurally (package
+// suffix + type name), so this Region stands in for the real one.
+package shmem
+
+type Region struct {
+	buf  []byte
+	mask uint64
+}
+
+func NewRegion(size int) *Region { return &Region{buf: make([]byte, size), mask: uint64(size - 1)} }
+
+func (r *Region) Size() int    { return len(r.buf) }
+func (r *Region) Mask() uint64 { return r.mask }
+
+func (r *Region) Byte(off uint64) byte { return r.buf[off&r.mask] }
+
+func (r *Region) U16(off uint64) uint16 { return uint16(r.buf[off&r.mask]) }
+func (r *Region) U32(off uint64) uint32 { return uint32(r.buf[off&r.mask]) }
+func (r *Region) U64(off uint64) uint64 { return uint64(r.buf[off&r.mask]) }
+
+func (r *Region) SetU32(off uint64, v uint32) { r.buf[off&r.mask] = byte(v) }
+
+func (r *Region) ReadAt(dst []byte, off uint64)  { copy(dst, r.buf[off&r.mask:]) }
+func (r *Region) WriteAt(src []byte, off uint64) { copy(r.buf[off&r.mask:], src) }
+
+func (r *Region) Slice(off uint64, n int) []byte {
+	o := off & r.mask
+	return r.buf[o : o+uint64(n)]
+}

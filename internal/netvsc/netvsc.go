@@ -383,6 +383,7 @@ func (d *Driver) Recv() (*RxFrame, error) {
 			// Legacy double fetch: re-read the header length for the
 			// consume-offset arithmetic (the device may have changed it
 			// since the copy bound was taken).
+			//ciovet:allow doublefetch deliberate legacy baseline: models the un-hardened vmbus re-read (Fig. 3 bug class), gated off by Hardening.Races
 			plen2 := d.ch.In.mem.U32(base + 4)
 			if plen2 != plen {
 				d.trustedUnchecked++
@@ -411,6 +412,7 @@ func (d *Driver) Recv() (*RxFrame, error) {
 			// Zero-copy view when contiguous, else copy.
 			off := (base + headerBytes) & uint64(d.cfg.RingBytes-1)
 			if off+uint64(plen) <= uint64(d.cfg.RingBytes) {
+				//ciovet:allow sharedescape deliberate legacy baseline: un-hardened zero-copy view, gated off by Hardening.Copies
 				return &RxFrame{drv: d, data: d.ch.In.mem.Slice(off, int(plen))}, nil
 			}
 			buf := make([]byte, plen)

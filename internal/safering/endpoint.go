@@ -331,6 +331,7 @@ func (e *Endpoint) Recv() (*RxFrame, error) {
 			data := e.sh.RXData.Region().Slice(off, int(d.Len))
 			e.rxTail++
 			e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
+			//ciovet:allow sharedescape slab revoked above: the host can no longer write these pages, so handing out the in-place view is single-fetch-safe until Release reshares
 			return &RxFrame{ep: e, sh: e.sh, data: data, slab: slab}, nil
 		}
 

@@ -14,13 +14,22 @@ import (
 // (paper §2.5) — that is the point: Bounce reproduces the legacy
 // copy-everywhere behaviour so its cost can be compared against designs
 // where copies are first-class and elided when provably safe.
+//
+// Slots are named by BounceHandle, a generation-tagged token in the style
+// of Arena's Handle: a release bumps the slot's generation, so a stale
+// handle — double release, or a release racing a reallocation — fails
+// verification with ErrBadSlot instead of freeing (or scrubbing) a slot
+// that now belongs to someone else.
 type Bounce struct {
 	region   *Region
 	slotSize int
 	slots    int
 
-	mu   sync.Mutex
-	free []int // free slot indexes, LIFO
+	mu    sync.Mutex
+	free  []int    // free slot indexes, LIFO
+	inUse []bool   // per-slot allocation state; the free list is derived, this is truth
+	gen   []uint32 // per-slot generation, bumped on release
+	zero  []byte   // slot-sized scrub buffer, only touched under mu
 
 	// BytesCopied counts every byte staged in or out, for the cost model.
 	BytesCopied atomic.Uint64
@@ -28,10 +37,15 @@ type Bounce struct {
 	MapCount atomic.Uint64
 }
 
+// BounceHandle names a mapped bounce slot. It packs generation<<32 | slot
+// index; only the handle returned by the most recent Map of a slot
+// verifies.
+type BounceHandle uint64
+
 // ErrBounceFull is returned by Map when no slot is free.
 var ErrBounceFull = errors.New("shmem: bounce pool exhausted")
 
-// ErrBadSlot is returned for out-of-range or double-released slots.
+// ErrBadSlot is returned for out-of-range, unmapped, or stale slot handles.
 var ErrBadSlot = errors.New("shmem: invalid bounce slot")
 
 // NewBounce carves a bounce pool of slots slots of slotSize bytes each out
@@ -53,6 +67,9 @@ func NewBounce(slotSize, slots int) (*Bounce, error) {
 	for i := range b.free {
 		b.free[i] = slots - 1 - i // pop order 0,1,2,...
 	}
+	b.inUse = make([]bool, slots)
+	b.gen = make([]uint32, slots)
+	b.zero = make([]byte, slotSize)
 	return b, nil
 }
 
@@ -69,9 +86,9 @@ func (b *Bounce) FreeSlots() int {
 	return len(b.free)
 }
 
-// Map stages data into a free slot and returns the slot index. The data
-// must fit in one slot; transports fragment above this layer.
-func (b *Bounce) Map(data []byte) (slot int, err error) {
+// Map stages data into a free slot and returns its handle. The data must
+// fit in one slot; transports fragment above this layer.
+func (b *Bounce) Map(data []byte) (BounceHandle, error) {
 	if len(data) > b.slotSize {
 		return 0, fmt.Errorf("shmem: bounce payload %d exceeds slot size %d", len(data), b.slotSize)
 	}
@@ -80,54 +97,82 @@ func (b *Bounce) Map(data []byte) (slot int, err error) {
 		b.mu.Unlock()
 		return 0, ErrBounceFull
 	}
-	slot = b.free[len(b.free)-1]
+	slot := b.free[len(b.free)-1]
 	b.free = b.free[:len(b.free)-1]
+	b.inUse[slot] = true
+	h := BounceHandle(uint64(b.gen[slot])<<32 | uint64(slot))
 	b.mu.Unlock()
 
 	b.region.WriteAt(data, uint64(slot*b.slotSize))
 	b.BytesCopied.Add(uint64(len(data)))
 	b.MapCount.Add(1)
-	return slot, nil
+	return h, nil
 }
 
-// Unmap copies n bytes back out of the slot into dst (which must be at
+// Unmap copies n bytes of the handle's slot into dst (which must be at
 // least n long) and releases the slot. It is used on the receive path;
 // for transmit, use Release to free the slot without the copy-out.
-func (b *Bounce) Unmap(slot, n int, dst []byte) error {
+// Verification happens before the copy-out: a stale, unmapped, or
+// out-of-range handle yields ErrBadSlot with dst untouched, never a read
+// of memory the caller no longer owns.
+func (b *Bounce) Unmap(h BounceHandle, n int, dst []byte) error {
 	if n > b.slotSize || n > len(dst) {
 		return fmt.Errorf("shmem: bounce unmap of %d bytes exceeds slot or dst", n)
 	}
-	if err := b.checkSlot(slot); err != nil {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	slot, err := b.verifyLocked(h)
+	if err != nil {
 		return err
 	}
 	b.region.ReadAt(dst[:n], uint64(slot*b.slotSize))
 	b.BytesCopied.Add(uint64(n))
-	return b.Release(slot)
+	b.releaseLocked(slot)
+	return nil
 }
 
 // Release returns a slot to the free pool without copying, and scrubs it
 // so stale tenant data never lingers in host-visible memory.
-func (b *Bounce) Release(slot int) error {
-	if err := b.checkSlot(slot); err != nil {
-		return err
-	}
-	zero := make([]byte, b.slotSize)
-	b.region.WriteAt(zero, uint64(slot*b.slotSize))
-
+func (b *Bounce) Release(h BounceHandle) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, f := range b.free {
-		if f == slot {
-			return fmt.Errorf("%w: double release of slot %d", ErrBadSlot, slot)
-		}
+	slot, err := b.verifyLocked(h)
+	if err != nil {
+		return err
 	}
-	b.free = append(b.free, slot)
+	b.releaseLocked(slot)
 	return nil
 }
 
-func (b *Bounce) checkSlot(slot int) error {
-	if slot < 0 || slot >= b.slots {
-		return fmt.Errorf("%w: slot %d out of range [0,%d)", ErrBadSlot, slot, b.slots)
-	}
-	return nil
+// releaseLocked scrubs the slot, bumps its generation, and returns it to
+// the free pool. The slot must be verified and b.mu held: scrubbing while
+// the slot is still marked in-use (and so unreachable from Map) is what
+// keeps a racing double release from zeroing a slot a new tenant has
+// already staged into.
+func (b *Bounce) releaseLocked(slot int) {
+	b.region.WriteAt(b.zero, uint64(slot*b.slotSize))
+	b.inUse[slot] = false
+	b.gen[slot]++
+	b.free = append(b.free, slot)
 }
+
+// verifyLocked resolves a handle to a live slot index: in range, currently
+// mapped, and carrying the slot's current generation. Anything else — a
+// forged index, a double release, a handle that outlived a reallocation —
+// is ErrBadSlot.
+func (b *Bounce) verifyLocked(h BounceHandle) (int, error) {
+	slot := int(uint64(h) & 0xFFFFFFFF)
+	if slot >= b.slots {
+		return 0, fmt.Errorf("%w: slot %d out of range [0,%d)", ErrBadSlot, slot, b.slots)
+	}
+	if !b.inUse[slot] {
+		return 0, fmt.Errorf("%w: slot %d is not mapped (double release?)", ErrBadSlot, slot)
+	}
+	if uint32(uint64(h)>>32) != b.gen[slot] {
+		return 0, fmt.Errorf("%w: stale handle for slot %d", ErrBadSlot, slot)
+	}
+	return slot, nil
+}
+
+// slotOf recovers the slot index a handle names, without verification.
+func (b *Bounce) slotOf(h BounceHandle) int { return int(uint64(h) & 0xFFFFFFFF) }

@@ -87,14 +87,142 @@ func TestBounceDoubleReleaseDetected(t *testing.T) {
 
 func TestBounceRejectsBadSlotIndex(t *testing.T) {
 	b, _ := NewBounce(64, 2)
-	if err := b.Release(-1); !errors.Is(err, ErrBadSlot) {
-		t.Errorf("Release(-1): %v", err)
+	if err := b.Release(^BounceHandle(0)); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("Release(all-ones): %v", err)
 	}
-	if err := b.Release(2); !errors.Is(err, ErrBadSlot) {
+	if err := b.Release(BounceHandle(2)); !errors.Is(err, ErrBadSlot) {
 		t.Errorf("Release(2): %v", err)
 	}
-	if err := b.Unmap(99, 1, make([]byte, 1)); !errors.Is(err, ErrBadSlot) {
+	if err := b.Unmap(BounceHandle(99), 1, make([]byte, 1)); !errors.Is(err, ErrBadSlot) {
 		t.Errorf("Unmap(99): %v", err)
+	}
+}
+
+// TestBounceLifecycleMisuse is a table of allocator-misuse sequences, each
+// asserting the exact error and that the pool survives uncorrupted: after
+// every scenario the pool must still hand out each slot exactly once.
+func TestBounceLifecycleMisuse(t *testing.T) {
+	const slotSize, slots = 64, 4
+	tests := []struct {
+		name string
+		run  func(t *testing.T, b *Bounce)
+	}{
+		{"double free", func(t *testing.T, b *Bounce) {
+			s, _ := b.Map([]byte{1})
+			if err := b.Release(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Release(s); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("double Release: want ErrBadSlot, got %v", err)
+			}
+		}},
+		{"double free via unmap", func(t *testing.T, b *Bounce) {
+			s, _ := b.Map([]byte{1})
+			dst := make([]byte, 1)
+			if err := b.Unmap(s, 1, dst); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Unmap(s, 1, dst); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("second Unmap: want ErrBadSlot, got %v", err)
+			}
+		}},
+		{"alias after free leaves dst untouched", func(t *testing.T, b *Bounce) {
+			s, _ := b.Map([]byte("secret"))
+			if err := b.Release(s); err != nil {
+				t.Fatal(err)
+			}
+			dst := []byte{0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA}
+			if err := b.Unmap(s, len(dst), dst); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("Unmap of freed slot: want ErrBadSlot, got %v", err)
+			}
+			for i, v := range dst {
+				if v != 0xAA {
+					t.Fatalf("dst[%d] = %#x: Unmap copied out of a slot the caller no longer owns", i, v)
+				}
+			}
+		}},
+		{"foreign slot release", func(t *testing.T, b *Bounce) {
+			// A handle this pool never handed out: valid range, never mapped.
+			if err := b.Release(BounceHandle(2)); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("Release of unmapped slot: want ErrBadSlot, got %v", err)
+			}
+			if err := b.Unmap(BounceHandle(2), 1, make([]byte, 1)); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("Unmap of unmapped slot: want ErrBadSlot, got %v", err)
+			}
+		}},
+		{"out of range release", func(t *testing.T, b *Bounce) {
+			for _, h := range []BounceHandle{BounceHandle(slots), BounceHandle(slots * 4), ^BounceHandle(0)} {
+				if err := b.Release(h); !errors.Is(err, ErrBadSlot) {
+					t.Fatalf("Release(%#x): want ErrBadSlot, got %v", uint64(h), err)
+				}
+			}
+		}},
+		{"double free must not scrub reallocated tenant", func(t *testing.T, b *Bounce) {
+			s, _ := b.Map([]byte{1})
+			if err := b.Release(s); err != nil {
+				t.Fatal(err)
+			}
+			// The slot goes back out to a new tenant (LIFO: same index,
+			// fresh generation).
+			s2, err := b.Map([]byte("tenant-two"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.slotOf(s2) != b.slotOf(s) {
+				t.Fatalf("expected LIFO reuse of slot %d, got %d", b.slotOf(s), b.slotOf(s2))
+			}
+			// The stale owner releases again. This must fail AND must not
+			// zero the new tenant's staged bytes.
+			if err := b.Release(s); !errors.Is(err, ErrBadSlot) {
+				t.Fatalf("stale Release: want ErrBadSlot, got %v", err)
+			}
+			got := make([]byte, len("tenant-two"))
+			if err := b.Unmap(s2, len(got), got); err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "tenant-two" {
+				t.Fatalf("new tenant's data = %q: stale release scrubbed a live slot", got)
+			}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBounce(slotSize, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.run(t, b)
+
+			// Free-list integrity: drain everything still mapped, then the
+			// pool must yield exactly `slots` distinct slots.
+			var live []BounceHandle
+			b.mu.Lock()
+			for s, used := range b.inUse {
+				if used {
+					live = append(live, BounceHandle(uint64(b.gen[s])<<32|uint64(s)))
+				}
+			}
+			b.mu.Unlock()
+			for _, h := range live {
+				if err := b.Release(h); err != nil {
+					t.Fatalf("draining slot %d: %v", b.slotOf(h), err)
+				}
+			}
+			seen := make(map[int]bool)
+			for i := 0; i < slots; i++ {
+				h, err := b.Map([]byte{byte(i)})
+				if err != nil {
+					t.Fatalf("pool corrupted: map %d/%d: %v", i+1, slots, err)
+				}
+				if seen[b.slotOf(h)] {
+					t.Fatalf("pool corrupted: slot %d handed out twice", b.slotOf(h))
+				}
+				seen[b.slotOf(h)] = true
+			}
+			if _, err := b.Map([]byte{0}); !errors.Is(err, ErrBounceFull) {
+				t.Fatalf("pool corrupted: want ErrBounceFull after draining, got %v", err)
+			}
+		})
 	}
 }
 
@@ -105,7 +233,7 @@ func TestBounceScrubsOnRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	slotBytes := make([]byte, 64)
-	b.Region().ReadAt(slotBytes, uint64(s*64))
+	b.Region().ReadAt(slotBytes, uint64(b.slotOf(s)*64))
 	for i, v := range slotBytes {
 		if v != 0 {
 			t.Fatalf("byte %d of released slot not scrubbed: %#x", i, v)
