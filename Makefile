@@ -4,7 +4,7 @@ GO ?= go
 # cross-goroutine shared state (rings, slab pools, the core datapath).
 RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core
 
-.PHONY: all build test race vet ciovet fuzz fmt check
+.PHONY: all build test race vet ciovet fuzz fmt bench check
 
 all: build
 
@@ -32,6 +32,11 @@ fuzz:
 fmt:
 	gofmt -l .
 	@test -z "$$(gofmt -l .)"
+
+# Batched-datapath and Figure 5 benchmarks; the machine-readable stream
+# lands in BENCH_batch.json for the analysis scripts.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatch_|BenchmarkFig5_' -benchmem -json . | tee BENCH_batch.json
 
 # The full verification gate, in increasing order of cost.
 check: fmt vet build ciovet test race

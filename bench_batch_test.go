@@ -1,0 +1,86 @@
+package confio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"confio/internal/platform"
+	"confio/internal/safering"
+)
+
+// --- Batched ring datapath: amortized publication sweep ---
+//
+// benchBatch drives the transport in both directions with the batched
+// calls (SendBatch/PopBatch on TX, PushBatch/RecvBatch on RX), doorbells
+// enabled, so the reported notif/frame and pub/frame show how the single
+// per-batch index store and doorbell amortize over the batch size. The
+// batch-1 rows coincide with the single-frame datapath; the figure of
+// merit is their ratio against batch 16 and 64 (EXPERIMENTS.md
+// "notifications per frame").
+
+func benchBatch(b *testing.B, cfg safering.DeviceConfig, batch int) {
+	cfg.Notify = true
+	var m platform.Meter
+	ep, err := safering.New(cfg, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	payload := make([]byte, 1400)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames := make([][]byte, batch)
+	for i := range frames {
+		frames[i] = payload
+	}
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, cfg.FrameCap())
+	}
+	lens := make([]int, batch)
+	out := make([]*safering.RxFrame, batch)
+
+	before := m.Snapshot()
+	b.SetBytes(int64(2 * batch * len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := ep.SendBatch(frames); err != nil || n != batch {
+			b.Fatalf("SendBatch = %d, %v", n, err)
+		}
+		if n, err := hp.PopBatch(bufs, lens); err != nil || n != batch {
+			b.Fatalf("PopBatch = %d, %v", n, err)
+		}
+		if n, err := hp.PushBatch(frames); err != nil || n != batch {
+			b.Fatalf("PushBatch = %d, %v", n, err)
+		}
+		n, err := ep.RecvBatch(out)
+		if err != nil || n != batch {
+			b.Fatalf("RecvBatch = %d, %v", n, err)
+		}
+		for j := 0; j < n; j++ {
+			out[j].Release()
+		}
+	}
+	b.StopTimer()
+	d := m.Snapshot().Sub(before)
+	framesMoved := float64(2 * b.N * batch)
+	b.ReportMetric(float64(d.Notifications)/framesMoved, "notif/frame")
+	b.ReportMetric(float64(d.IndexPublishes)/framesMoved, "pub/frame")
+	b.ReportMetric(d.ModelNanos(platform.DefaultCostParams())/framesMoved, "model-ns/frame")
+}
+
+func benchBatchSweep(b *testing.B, mode safering.DataMode) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = mode
+	if mode != safering.Inline {
+		cfg.SlotSize = 64
+	}
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { benchBatch(b, cfg, batch) })
+	}
+}
+
+func BenchmarkBatch_Inline(b *testing.B)     { benchBatchSweep(b, safering.Inline) }
+func BenchmarkBatch_SharedArea(b *testing.B) { benchBatchSweep(b, safering.SharedArea) }
+func BenchmarkBatch_Indirect(b *testing.B)   { benchBatchSweep(b, safering.Indirect) }

@@ -30,6 +30,7 @@ var protocolErrNames = map[string]bool{
 // carry a fatal violation; discarding it hides a dead endpoint.
 var endpointMethodNames = map[string]bool{
 	"Send": true, "Recv": true, "Reap": true, "Pop": true, "Push": true,
+	"SendBatch": true, "RecvBatch": true, "PopBatch": true, "PushBatch": true,
 }
 
 // endpointPkgSuffixes are the packages whose endpoint types the discard

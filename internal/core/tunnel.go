@@ -55,9 +55,10 @@ func (t *tunnelNIC) MAC() [6]byte { return t.inner.MAC() }
 // frame capacity absorbs the overhead).
 func (t *tunnelNIC) MTU() int { return t.inner.MTU() }
 
-func (t *tunnelNIC) Send(frame []byte) error {
+// seal encapsulates one inner frame into a constant-size outer frame.
+func (t *tunnelNIC) seal(frame []byte) ([]byte, error) {
 	if len(frame) < 14 {
-		return fmt.Errorf("core: tunnel runt frame %d", len(frame))
+		return nil, fmt.Errorf("core: tunnel runt frame %d", len(frame))
 	}
 	// Plaintext: length prefix + frame, padded to constant size.
 	pt := make([]byte, t.padTo)
@@ -66,7 +67,7 @@ func (t *tunnelNIC) Send(frame []byte) error {
 
 	var nonce [12]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
-		return err
+		return nil, err
 	}
 	outer := make([]byte, 0, 14+12+t.padTo+t.aead.Overhead())
 	outer = append(outer, frame[0:6]...)  // outer dst = inner dst (endpoint identity)
@@ -75,14 +76,14 @@ func (t *tunnelNIC) Send(frame []byte) error {
 	outer = append(outer, nonce[:]...)
 	outer = t.aead.Seal(outer, nonce[:], pt, outer[0:14])
 	t.meter.Crypto(t.padTo)
-	return t.inner.Send(outer)
+	return outer, nil
 }
 
-func (t *tunnelNIC) Recv() (nic.Frame, error) {
-	fr, err := t.inner.Recv()
-	if err != nil {
-		return nil, err
-	}
+// open decapsulates one outer frame, releasing it. A nil inner frame with
+// a nil error means an undecryptable (attacker-injected or corrupted)
+// frame that is silently dropped: DoS is out of scope and integrity holds
+// because nothing decapsulates.
+func (t *tunnelNIC) open(fr nic.Frame) (nic.Frame, error) {
 	outer := fr.Bytes()
 	if len(outer) < 14+12+t.aead.Overhead() {
 		fr.Release()
@@ -92,9 +93,7 @@ func (t *tunnelNIC) Recv() (nic.Frame, error) {
 	pt, err := t.aead.Open(nil, nonce, outer[14+12:], outer[0:14])
 	fr.Release()
 	if err != nil {
-		// An attacker-injected or corrupted tunnel frame: drop. (DoS is
-		// out of scope; integrity holds because nothing decapsulates.)
-		return nil, nic.ErrEmpty
+		return nil, nil
 	}
 	t.meter.Crypto(t.padTo)
 	if len(pt) < 2 {
@@ -105,4 +104,84 @@ func (t *tunnelNIC) Recv() (nic.Frame, error) {
 		return nil, errTunnel
 	}
 	return &nic.BufFrame{B: pt[2 : 2+n]}, nil
+}
+
+func (t *tunnelNIC) Send(frame []byte) error {
+	outer, err := t.seal(frame)
+	if err != nil {
+		return err
+	}
+	return t.inner.Send(outer)
+}
+
+func (t *tunnelNIC) Recv() (nic.Frame, error) {
+	fr, err := t.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := t.open(fr)
+	if err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		return nil, nic.ErrEmpty // dropped undecryptable frame
+	}
+	return inner, nil
+}
+
+// SendBatch implements nic.BatchGuest: frames are sealed individually
+// (per-frame crypto is this design's stated cost) but flushed to the
+// transport as one batch when it supports batching.
+func (t *tunnelNIC) SendBatch(frames [][]byte) (int, error) {
+	outers := make([][]byte, len(frames))
+	for i, f := range frames {
+		o, err := t.seal(f)
+		if err != nil {
+			return 0, err
+		}
+		outers[i] = o
+	}
+	if bg, ok := t.inner.(nic.BatchGuest); ok {
+		return bg.SendBatch(outers)
+	}
+	for i, o := range outers {
+		if err := t.inner.Send(o); err != nil {
+			return i, err
+		}
+	}
+	return len(outers), nil
+}
+
+// RecvBatch implements nic.BatchGuest, decapsulating a burst dequeued
+// with one batched receive. Undecryptable frames are dropped from the
+// burst, so the returned count can be short of what the wire carried.
+func (t *tunnelNIC) RecvBatch(out []nic.Frame) (int, error) {
+	bg, ok := t.inner.(nic.BatchGuest)
+	if !ok {
+		n := 0
+		for n < len(out) {
+			fr, err := t.Recv()
+			if err != nil {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, err
+			}
+			out[n] = fr
+			n++
+		}
+		return n, nil
+	}
+	raw := make([]nic.Frame, len(out))
+	n, err := bg.RecvBatch(raw)
+	m := 0
+	for i := 0; i < n; i++ {
+		inner, derr := t.open(raw[i])
+		if derr != nil || inner == nil {
+			continue // malformed or undecryptable: drop
+		}
+		out[m] = inner
+		m++
+	}
+	return m, err
 }

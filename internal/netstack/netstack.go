@@ -111,8 +111,16 @@ func (s *Stack) Close() {
 	s.wg.Wait()
 }
 
+// rxBurst bounds the frames drained from the NIC per loop iteration.
+const rxBurst = 64
+
 func (s *Stack) loop() {
 	defer s.wg.Done()
+	bg, _ := s.g.(nic.BatchGuest)
+	var burst []nic.Frame
+	if bg != nil {
+		burst = make([]nic.Frame, rxBurst)
+	}
 	lastTick := time.Now()
 	idle := 0
 	for {
@@ -122,14 +130,28 @@ func (s *Stack) loop() {
 		default:
 		}
 		worked := false
-		for i := 0; i < 64; i++ {
-			fr, err := s.g.Recv()
-			if err != nil {
-				break
+		if bg != nil {
+			// One batched dequeue: the transport validates the peer index
+			// once and publishes the consumer index once for the burst.
+			n, err := bg.RecvBatch(burst)
+			for i := 0; i < n; i++ {
+				s.handleFrame(burst[i].Bytes())
+				burst[i].Release()
+				burst[i] = nil
 			}
-			s.handleFrame(fr.Bytes())
-			fr.Release()
-			worked = true
+			if n > 0 && err == nil {
+				worked = true
+			}
+		} else {
+			for i := 0; i < rxBurst; i++ {
+				fr, err := s.g.Recv()
+				if err != nil {
+					break
+				}
+				s.handleFrame(fr.Bytes())
+				fr.Release()
+				worked = true
+			}
 		}
 		if now := time.Now(); now.Sub(lastTick) >= time.Millisecond {
 			s.TCP.Tick()
@@ -286,30 +308,58 @@ func (s *Stack) transmitIP(dst ipv4.Addr, mac ether.MAC, proto byte, payload []b
 		s.mu.Unlock()
 		return
 	}
-	for _, p := range pkts {
-		s.sendFrame(mac, ether.TypeIPv4, p)
-	}
+	// Every fragment of the datagram flushes as one batch: one lock
+	// acquisition, one index publication, one doorbell on batch-capable
+	// transports.
+	s.sendFrames(mac, ether.TypeIPv4, pkts)
 }
 
 // sendFrame transmits one Ethernet frame, retrying briefly on transport
 // backpressure and dropping on persistent failure (upper layers recover).
 func (s *Stack) sendFrame(dst ether.MAC, typ uint16, payload []byte) {
-	frame := ether.Marshal(nil, ether.Frame{Dst: dst, Src: ether.MAC(s.g.MAC()), Type: typ, Payload: payload})
-	for i := 0; i < sendRetries; i++ {
-		err := s.g.Send(frame)
-		if err == nil {
-			s.mu.Lock()
-			s.stats.FramesOut++
-			s.mu.Unlock()
-			return
-		}
-		if !errors.Is(err, nic.ErrFull) {
-			break
+	s.sendFrames(dst, typ, [][]byte{payload})
+}
+
+// sendFrames marshals and transmits a burst of Ethernet frames, using the
+// transport's batched enqueue when available, retrying briefly on
+// backpressure and dropping the remainder on persistent failure (upper
+// layers recover).
+func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	src := ether.MAC(s.g.MAC())
+	frames := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		frames[i] = ether.Marshal(nil, ether.Frame{Dst: dst, Src: src, Type: typ, Payload: p})
+	}
+	bg, _ := s.g.(nic.BatchGuest)
+	sent := 0
+	for i := 0; i < sendRetries && sent < len(frames); i++ {
+		if bg != nil {
+			n, err := bg.SendBatch(frames[sent:])
+			sent += n
+			if err == nil || n > 0 {
+				continue // progress: flush the remainder immediately
+			}
+			if !errors.Is(err, nic.ErrFull) {
+				break
+			}
+		} else {
+			err := s.g.Send(frames[sent])
+			if err == nil {
+				sent++
+				continue
+			}
+			if !errors.Is(err, nic.ErrFull) {
+				break
+			}
 		}
 		time.Sleep(10 * time.Microsecond)
 	}
 	s.mu.Lock()
-	s.stats.SendDrops++
+	s.stats.FramesOut += uint64(sent)
+	s.stats.SendDrops += uint64(len(frames) - sent)
 	s.mu.Unlock()
 }
 

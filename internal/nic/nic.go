@@ -13,6 +13,7 @@ package nic
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"confio/internal/simnet"
@@ -55,22 +56,48 @@ type Host interface {
 	FrameCap() int
 }
 
+// BatchGuest is a Guest whose transport can stage several frames under
+// one lock acquisition and publish them with a single index store and
+// doorbell (the safe ring's amortized datapath). Both calls are
+// non-blocking and may return short counts on backpressure.
+type BatchGuest interface {
+	Guest
+	// SendBatch enqueues up to len(frames) frames and returns how many
+	// were accepted; (0, ErrFull) when nothing fit.
+	SendBatch(frames [][]byte) (int, error)
+	// RecvBatch fills out with up to len(out) received frames and
+	// returns the count; (0, ErrEmpty) when none waited.
+	RecvBatch(out []Frame) (int, error)
+}
+
+// BatchHost mirrors BatchGuest on the device side, letting the pump move
+// bursts instead of single frames.
+type BatchHost interface {
+	Host
+	// PopBatch dequeues up to len(bufs) guest frames, one per buffer,
+	// recording frame lengths in lens. Each buffer must hold FrameCap
+	// bytes and len(lens) must cover len(bufs).
+	PopBatch(bufs [][]byte, lens []int) (int, error)
+	// PushBatch delivers up to len(frames) frames toward the guest and
+	// returns how many were accepted; (0, ErrFull) when nothing fit.
+	PushBatch(frames [][]byte) (int, error)
+}
+
 // BufFrame is a trivial Frame over a private byte slice.
 type BufFrame struct {
-	B       []byte
-	OnFree  func()
-	release bool
+	B        []byte
+	OnFree   func()
+	released atomic.Bool
 }
 
 // Bytes returns the frame contents.
 func (f *BufFrame) Bytes() []byte { return f.B }
 
-// Release invokes OnFree once.
+// Release invokes OnFree once, even under concurrent callers.
 func (f *BufFrame) Release() {
-	if f.release {
+	if !f.released.CompareAndSwap(false, true) {
 		return
 	}
-	f.release = true
 	if f.OnFree != nil {
 		f.OnFree()
 	}
@@ -97,9 +124,23 @@ func StartPump(h Host, port *simnet.Port) *Pump {
 	return p
 }
 
+// pumpBurst bounds the frames moved per direction per loop iteration.
+const pumpBurst = 64
+
 func (p *Pump) run(h Host, port *simnet.Port) {
 	defer p.wg.Done()
+	bh, _ := h.(BatchHost)
+	var bufs [][]byte
+	var lens []int
+	if bh != nil {
+		bufs = make([][]byte, pumpBurst)
+		for i := range bufs {
+			bufs[i] = make([]byte, h.FrameCap())
+		}
+		lens = make([]int, pumpBurst)
+	}
 	buf := make([]byte, h.FrameCap())
+	inbound := make([][]byte, 0, pumpBurst)
 	idle := 0
 	for {
 		select {
@@ -109,32 +150,42 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 		}
 		worked := false
 
-		// Guest -> network.
-		if n, err := h.Pop(buf); err == nil {
-			if err := port.Send(buf[:n]); err == nil {
+		// Guest -> network: drain a burst of transmit frames with one
+		// batched pop when the backend supports it.
+		if bh != nil {
+			if n, err := bh.PopBatch(bufs, lens); err == nil && n > 0 {
+				sent := uint64(0)
+				for i := 0; i < n; i++ {
+					if serr := port.Send(bufs[i][:lens[i]]); serr == nil {
+						sent++
+					}
+				}
+				p.mu.Lock()
+				p.txFrames += sent
+				p.mu.Unlock()
+				worked = true
+			}
+		} else if n, err := h.Pop(buf); err == nil {
+			if serr := port.Send(buf[:n]); serr == nil {
 				p.mu.Lock()
 				p.txFrames++
 				p.mu.Unlock()
 			}
 			worked = true
 		}
-		// Network -> guest.
-		if f, ok := port.Recv(); ok {
-			// Push can be transiently full; retry a few times then drop
-			// (DoS is out of scope, drops are the device's prerogative).
-			for attempt := 0; attempt < 100; attempt++ {
-				err := h.Push(f)
-				if err == nil {
-					p.mu.Lock()
-					p.rxFrames++
-					p.mu.Unlock()
-					break
-				}
-				if !errors.Is(err, ErrFull) {
-					break
-				}
-				time.Sleep(10 * time.Microsecond)
+
+		// Network -> guest: collect whatever the wire delivered, then
+		// hand it to the backend as one burst.
+		inbound = inbound[:0]
+		for len(inbound) < pumpBurst {
+			f, ok := port.Recv()
+			if !ok {
+				break
 			}
+			inbound = append(inbound, f)
+		}
+		if len(inbound) > 0 {
+			p.deliver(h, bh, inbound)
 			worked = true
 		}
 
@@ -146,6 +197,40 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 		if idle > 64 {
 			time.Sleep(20 * time.Microsecond)
 		}
+	}
+}
+
+// deliver pushes a burst toward the guest, retrying briefly on transient
+// backpressure and then dropping the remainder (DoS is out of scope,
+// drops are the device's prerogative).
+func (p *Pump) deliver(h Host, bh BatchHost, frames [][]byte) {
+	sent := 0
+	for attempt := 0; attempt < 100 && sent < len(frames); attempt++ {
+		if bh != nil {
+			n, err := bh.PushBatch(frames[sent:])
+			sent += n
+			if err == nil || n > 0 {
+				continue // progress: try the remainder immediately
+			}
+			if !errors.Is(err, ErrFull) {
+				break
+			}
+		} else {
+			err := h.Push(frames[sent])
+			if err == nil {
+				sent++
+				continue
+			}
+			if !errors.Is(err, ErrFull) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	if sent > 0 {
+		p.mu.Lock()
+		p.rxFrames += uint64(sent)
+		p.mu.Unlock()
 	}
 }
 

@@ -14,6 +14,7 @@ type Meter struct {
 	bytesCopied   atomic.Uint64
 	checks        atomic.Uint64
 	notifications atomic.Uint64
+	publications  atomic.Uint64
 	cryptoBytes   atomic.Uint64
 	pagesShared   atomic.Uint64
 	pagesRevoked  atomic.Uint64
@@ -56,6 +57,17 @@ func (m *Meter) Notify(n int) {
 	}
 }
 
+// Publish records n shared index publications (producer/consumer stores
+// made visible to the peer). A publication is an ordinary cached store —
+// it carries no ModelNanos weight — but each one is a serialization point
+// the peer may poll, so batched datapaths are judged by how few they
+// issue per frame (see EXPERIMENTS.md "notifications per frame").
+func (m *Meter) Publish(n int) {
+	if m != nil {
+		m.publications.Add(uint64(n))
+	}
+}
+
 // Crypto records n bytes encrypted, decrypted or MACed on the I/O path.
 func (m *Meter) Crypto(n int) {
 	if m != nil {
@@ -79,61 +91,65 @@ func (m *Meter) Revoke(n int) {
 
 // Costs is an immutable snapshot of a Meter.
 type Costs struct {
-	TEECrossings  uint64
-	GateCrossings uint64
-	BytesCopied   uint64
-	Checks        uint64
-	Notifications uint64
-	CryptoBytes   uint64
-	PagesShared   uint64
-	PagesRevoked  uint64
+	TEECrossings   uint64
+	GateCrossings  uint64
+	BytesCopied    uint64
+	Checks         uint64
+	Notifications  uint64
+	IndexPublishes uint64
+	CryptoBytes    uint64
+	PagesShared    uint64
+	PagesRevoked   uint64
 }
 
 // Snapshot captures the meter's current counters.
 func (m *Meter) Snapshot() Costs {
 	return Costs{
-		TEECrossings:  m.teeCrossings.Load(),
-		GateCrossings: m.gateCrossings.Load(),
-		BytesCopied:   m.bytesCopied.Load(),
-		Checks:        m.checks.Load(),
-		Notifications: m.notifications.Load(),
-		CryptoBytes:   m.cryptoBytes.Load(),
-		PagesShared:   m.pagesShared.Load(),
-		PagesRevoked:  m.pagesRevoked.Load(),
+		TEECrossings:   m.teeCrossings.Load(),
+		GateCrossings:  m.gateCrossings.Load(),
+		BytesCopied:    m.bytesCopied.Load(),
+		Checks:         m.checks.Load(),
+		Notifications:  m.notifications.Load(),
+		IndexPublishes: m.publications.Load(),
+		CryptoBytes:    m.cryptoBytes.Load(),
+		PagesShared:    m.pagesShared.Load(),
+		PagesRevoked:   m.pagesRevoked.Load(),
 	}
 }
 
 // Sub returns c - earlier, the events between two snapshots.
 func (c Costs) Sub(earlier Costs) Costs {
 	return Costs{
-		TEECrossings:  c.TEECrossings - earlier.TEECrossings,
-		GateCrossings: c.GateCrossings - earlier.GateCrossings,
-		BytesCopied:   c.BytesCopied - earlier.BytesCopied,
-		Checks:        c.Checks - earlier.Checks,
-		Notifications: c.Notifications - earlier.Notifications,
-		CryptoBytes:   c.CryptoBytes - earlier.CryptoBytes,
-		PagesShared:   c.PagesShared - earlier.PagesShared,
-		PagesRevoked:  c.PagesRevoked - earlier.PagesRevoked,
+		TEECrossings:   c.TEECrossings - earlier.TEECrossings,
+		GateCrossings:  c.GateCrossings - earlier.GateCrossings,
+		BytesCopied:    c.BytesCopied - earlier.BytesCopied,
+		Checks:         c.Checks - earlier.Checks,
+		Notifications:  c.Notifications - earlier.Notifications,
+		IndexPublishes: c.IndexPublishes - earlier.IndexPublishes,
+		CryptoBytes:    c.CryptoBytes - earlier.CryptoBytes,
+		PagesShared:    c.PagesShared - earlier.PagesShared,
+		PagesRevoked:   c.PagesRevoked - earlier.PagesRevoked,
 	}
 }
 
 // Add returns c + other.
 func (c Costs) Add(other Costs) Costs {
 	return Costs{
-		TEECrossings:  c.TEECrossings + other.TEECrossings,
-		GateCrossings: c.GateCrossings + other.GateCrossings,
-		BytesCopied:   c.BytesCopied + other.BytesCopied,
-		Checks:        c.Checks + other.Checks,
-		Notifications: c.Notifications + other.Notifications,
-		CryptoBytes:   c.CryptoBytes + other.CryptoBytes,
-		PagesShared:   c.PagesShared + other.PagesShared,
-		PagesRevoked:  c.PagesRevoked + other.PagesRevoked,
+		TEECrossings:   c.TEECrossings + other.TEECrossings,
+		GateCrossings:  c.GateCrossings + other.GateCrossings,
+		BytesCopied:    c.BytesCopied + other.BytesCopied,
+		Checks:         c.Checks + other.Checks,
+		Notifications:  c.Notifications + other.Notifications,
+		IndexPublishes: c.IndexPublishes + other.IndexPublishes,
+		CryptoBytes:    c.CryptoBytes + other.CryptoBytes,
+		PagesShared:    c.PagesShared + other.PagesShared,
+		PagesRevoked:   c.PagesRevoked + other.PagesRevoked,
 	}
 }
 
 func (c Costs) String() string {
-	return fmt.Sprintf("tee=%d gate=%d copied=%dB checks=%d notif=%d crypto=%dB shared=%dpg revoked=%dpg",
-		c.TEECrossings, c.GateCrossings, c.BytesCopied, c.Checks, c.Notifications, c.CryptoBytes, c.PagesShared, c.PagesRevoked)
+	return fmt.Sprintf("tee=%d gate=%d copied=%dB checks=%d notif=%d pub=%d crypto=%dB shared=%dpg revoked=%dpg",
+		c.TEECrossings, c.GateCrossings, c.BytesCopied, c.Checks, c.Notifications, c.IndexPublishes, c.CryptoBytes, c.PagesShared, c.PagesRevoked)
 }
 
 // CostParams weights each event class in nanoseconds. The defaults are

@@ -43,6 +43,41 @@ func (g *GuestNIC) Recv() (nic.Frame, error) {
 	}
 }
 
+// SendBatch implements nic.BatchGuest: one lock acquisition, one index
+// publication, at most one doorbell for the whole batch.
+func (g *GuestNIC) SendBatch(frames [][]byte) (int, error) {
+	n, err := g.EP.SendBatch(frames)
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, ErrRingFull):
+		return n, nic.ErrFull
+	case errors.Is(err, ErrDead):
+		return n, nic.ErrClosed
+	default:
+		return n, err
+	}
+}
+
+// RecvBatch implements nic.BatchGuest.
+func (g *GuestNIC) RecvBatch(out []nic.Frame) (int, error) {
+	rxs := make([]*RxFrame, len(out))
+	n, err := g.EP.RecvBatch(rxs)
+	for i := 0; i < n; i++ {
+		out[i] = rxs[i]
+	}
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, ErrRingEmpty):
+		return n, nic.ErrEmpty
+	case errors.Is(err, ErrDead):
+		return n, nic.ErrClosed
+	default:
+		return n, err
+	}
+}
+
 // MAC implements nic.Guest.
 func (g *GuestNIC) MAC() [6]byte { return g.EP.Config().MAC }
 
@@ -83,6 +118,36 @@ func (h *HostNIC) Push(frame []byte) error {
 		return nic.ErrClosed
 	default:
 		return err
+	}
+}
+
+// PopBatch implements nic.BatchHost.
+func (h *HostNIC) PopBatch(bufs [][]byte, lens []int) (int, error) {
+	n, err := h.HP.PopBatch(bufs, lens)
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, ErrRingEmpty):
+		return n, nic.ErrEmpty
+	case errors.Is(err, ErrDead):
+		return n, nic.ErrClosed
+	default:
+		return n, err
+	}
+}
+
+// PushBatch implements nic.BatchHost.
+func (h *HostNIC) PushBatch(frames [][]byte) (int, error) {
+	n, err := h.HP.PushBatch(frames)
+	switch {
+	case err == nil:
+		return n, nil
+	case errors.Is(err, ErrRingFull):
+		return n, nic.ErrFull
+	case errors.Is(err, ErrDead):
+		return n, nic.ErrClosed
+	default:
+		return n, err
 	}
 }
 

@@ -3,6 +3,8 @@ package safering
 import (
 	"errors"
 	"fmt"
+
+	"confio/internal/platform"
 )
 
 // DataMode selects where frame payloads live relative to the ring
@@ -141,6 +143,13 @@ func (c DeviceConfig) Validate() error {
 		return fmt.Errorf("%w: revoke rx policy requires shared-area mode", ErrConfig)
 	case c.Mode == Indirect && (!pow2(c.Segments) || c.Segments > 64):
 		return fmt.Errorf("%w: segments %d not a power of two <= 64", ErrConfig, c.Segments)
+	case c.Mode != Inline && c.FrameCap() > platform.PageSize:
+		// Receive slabs are exactly one page; a larger frame capacity
+		// would let a descriptor's Len reach into the adjacent slab.
+		// Zero-negotiation: the contract is fixed — and checked — at
+		// construction, never discovered at runtime.
+		return fmt.Errorf("%w: frame capacity %d exceeds the one-page RX slab (%d)",
+			ErrConfig, c.FrameCap(), platform.PageSize)
 	}
 	return nil
 }

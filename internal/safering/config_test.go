@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"confio/internal/platform"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -30,6 +32,12 @@ func TestConfigValidation(t *testing.T) {
 		{"revoke without shared area", func(c *DeviceConfig) { c.RX = Revoke; c.Mode = Inline }},
 		{"bad segments", func(c *DeviceConfig) { c.Mode = Indirect; c.SlotSize = 64; c.Segments = 3 }},
 		{"too many segments", func(c *DeviceConfig) { c.Mode = Indirect; c.SlotSize = 64; c.Segments = 128 }},
+		// Non-inline payloads live in one-page slabs: a frame capacity past
+		// PageSize would let a host-published Len reach the adjacent slab,
+		// so such configs must be rejected at construction.
+		{"shared frame cap over page", func(c *DeviceConfig) { c.Mode = SharedArea; c.SlotSize = 64; c.MTU = 4050 }},
+		{"revoke frame cap over page", func(c *DeviceConfig) { c.Mode = SharedArea; c.RX = Revoke; c.SlotSize = 64; c.MTU = 4050 }},
+		{"indirect frame cap over page", func(c *DeviceConfig) { c.Mode = Indirect; c.SlotSize = 64; c.MTU = 4050 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -39,6 +47,30 @@ func TestConfigValidation(t *testing.T) {
 				t.Fatalf("want ErrConfig, got %v", err)
 			}
 		})
+	}
+}
+
+func TestConfigSlabBoundEdges(t *testing.T) {
+	// FrameCap exactly at the slab boundary is the largest legal non-inline
+	// geometry (MTU + HeaderSlack == PageSize).
+	c := DefaultConfig()
+	c.Mode = SharedArea
+	c.SlotSize = 64
+	c.MTU = platform.PageSize - HeaderSlack
+	if err := c.Validate(); err != nil {
+		t.Fatalf("frame cap == PageSize must be valid: %v", err)
+	}
+	c.MTU++
+	if err := c.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("frame cap one past PageSize must be rejected, got %v", err)
+	}
+	// Inline mode has no slab: capacities past a page are fine if the slot
+	// holds them.
+	c = DefaultConfig()
+	c.SlotSize = 8192
+	c.MTU = 4096
+	if err := c.Validate(); err != nil {
+		t.Fatalf("inline frame cap past PageSize must be valid: %v", err)
 	}
 }
 

@@ -1,8 +1,10 @@
 package safering
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"confio/internal/platform"
 	"confio/internal/shmem"
@@ -42,10 +44,17 @@ type Endpoint struct {
 	// RX private state.
 	rxTail     uint64
 	rxFreeHead uint64
+	rxFreePub  uint64 // RXFree producer index last published to the host
 	slabHeld   []bool // true while the host holds the slab
 
 	pool sync.Pool
 }
+
+// txStageFault, when non-nil, injects a failure into the shared-area TX
+// staging path after the slab has been allocated. Test hook only (the
+// arena cannot fail a write to a freshly allocated slab of a size-checked
+// frame); always nil outside tests.
+var txStageFault func() error
 
 // New constructs the guest endpoint and all shared device state for cfg.
 // The meter may be nil.
@@ -60,10 +69,12 @@ func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
 
 	if cfg.Mode != Inline {
 		e.slabHeld = make([]bool, cfg.Slots)
-		// Post every receive slab to the host up front.
+		// Post every receive slab to the host up front; the whole set is
+		// published with a single index store.
 		for slab := 0; slab < cfg.Slots; slab++ {
-			e.postSlab(slab)
+			e.stageSlabLocked(slab)
 		}
+		e.publishFreeLocked()
 	}
 	return e, nil
 }
@@ -95,15 +106,23 @@ func (e *Endpoint) fail(err error) error {
 	return e.dead
 }
 
-// Send enqueues one Ethernet frame for transmission. It never blocks:
-// ErrRingFull asks the caller to retry after the host makes progress.
-// Completed transmit buffers are reaped on every call.
-func (e *Endpoint) Send(frame []byte) error {
+// checkFrame validates a frame size against the fixed geometry.
+func (e *Endpoint) checkFrame(frame []byte) error {
 	if len(frame) > e.sh.Cfg.FrameCap() {
 		return fmt.Errorf("%w: %d > %d", ErrFrameSize, len(frame), e.sh.Cfg.FrameCap())
 	}
 	if len(frame) == 0 {
 		return fmt.Errorf("%w: empty frame", ErrFrameSize)
+	}
+	return nil
+}
+
+// Send enqueues one Ethernet frame for transmission. It never blocks:
+// ErrRingFull asks the caller to retry after the host makes progress.
+// Completed transmit buffers are reaped on every call.
+func (e *Endpoint) Send(frame []byte) error {
+	if err := e.checkFrame(frame); err != nil {
+		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -117,7 +136,66 @@ func (e *Endpoint) Send(frame []byte) error {
 	if e.txHead-cons >= e.sh.TX.NSlots() {
 		return ErrRingFull
 	}
+	if err := e.stageTXLocked(frame); err != nil {
+		return err
+	}
+	e.publishTXLocked()
+	return nil
+}
 
+// SendBatch enqueues up to len(frames) frames, taking the lock, reaping
+// completions and validating the host's consumer index once, and
+// publishing the producer index + doorbell once for the whole batch. It
+// returns how many frames were accepted (and published). A full ring or
+// exhausted data area ends the batch early with n < len(frames) and a nil
+// error; (0, ErrRingFull) means nothing fit. Fail-dead semantics are
+// unchanged: a fatal error publishes and reports the frames already
+// accepted, and every later call returns ErrDead.
+func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
+	for _, f := range frames {
+		if err := e.checkFrame(f); err != nil {
+			return 0, err
+		}
+	}
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return 0, ErrDead
+	}
+	cons, err := e.reapLocked()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, f := range frames {
+		if e.txHead-cons >= e.sh.TX.NSlots() {
+			break
+		}
+		if serr := e.stageTXLocked(f); serr != nil {
+			if errors.Is(serr, ErrRingFull) { // data area exhausted: partial batch
+				break
+			}
+			if n > 0 {
+				e.publishTXLocked()
+			}
+			return n, serr
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, ErrRingFull
+	}
+	e.publishTXLocked()
+	return n, nil
+}
+
+// stageTXLocked stages one size-checked frame into the slot at txHead and
+// advances the private head. It does not publish: callers amortize the
+// index store and doorbell over a batch via publishTXLocked.
+func (e *Endpoint) stageTXLocked(frame []byte) error {
 	var d Desc
 	switch e.sh.Cfg.Mode {
 	case Inline:
@@ -129,7 +207,15 @@ func (e *Endpoint) Send(frame []byte) error {
 		if aerr != nil {
 			return ErrRingFull
 		}
-		if werr := e.sh.TXData.Write(h, frame); werr != nil {
+		werr := e.sh.TXData.Write(h, frame)
+		if werr == nil && txStageFault != nil {
+			werr = txStageFault()
+		}
+		if werr != nil {
+			// Return the slab before surfacing the error; leaking the
+			// handle here would shrink the data area by one slab per
+			// failed send until TX wedges at ErrRingFull.
+			_ = e.sh.TXData.HandleFree(shmem.FreeMsg{H: h})
 			return fmt.Errorf("safering: tx stage: %w", werr)
 		}
 		e.meter.Copy(len(frame))
@@ -142,14 +228,19 @@ func (e *Endpoint) Send(frame []byte) error {
 			return derr
 		}
 	}
-
 	e.sh.TX.WriteDesc(e.txHead, d)
 	e.txHead++
+	return nil
+}
+
+// publishTXLocked makes every staged TX slot visible to the host with one
+// index store and at most one doorbell ring.
+func (e *Endpoint) publishTXLocked() {
 	e.sh.TX.Indexes().StoreProd(e.txHead)
+	e.meter.Publish(1)
 	if e.sh.TXBell != nil {
 		e.sh.TXBell.Ring()
 	}
-	return nil
 }
 
 // stageIndirectLocked splits the frame into data-area segments and fills
@@ -230,24 +321,24 @@ func (e *Endpoint) Reap() error {
 // Release. Depending on policy the bytes are a private copy (CopyOut) or
 // a revoked — host-inaccessible — shared page used in place (Revoke).
 type RxFrame struct {
-	ep      *Endpoint
-	sh      *Shared // device instance the frame came from (hot-swap safety)
-	data    []byte
-	pooled  []byte // backing array to return to the pool, if any
-	slab    int    // revoked slab to re-share on release, or -1
-	release bool
+	ep       *Endpoint
+	sh       *Shared // device instance the frame came from (hot-swap safety)
+	data     []byte
+	pooled   []byte // backing array to return to the pool, if any
+	slab     int    // revoked slab to re-share on release, or -1
+	released atomic.Bool
 }
 
 // Bytes returns the frame contents.
 func (f *RxFrame) Bytes() []byte { return f.data }
 
 // Release returns the frame's backing storage (pool buffer or revoked
-// page) for reuse. It is idempotent.
+// page) for reuse. It is idempotent and safe to call from concurrent
+// goroutines: exactly one caller performs the release.
 func (f *RxFrame) Release() {
-	if f.release {
+	if !f.released.CompareAndSwap(false, true) {
 		return
 	}
-	f.release = true
 	if f.pooled != nil {
 		f.ep.pool.Put(f.pooled[:cap(f.pooled)])
 		f.pooled = nil
@@ -266,35 +357,59 @@ func (f *RxFrame) Release() {
 	f.data = nil
 }
 
-// postSlab publishes one empty receive slab to the host. Caller holds
-// e.mu (or is the constructor).
-func (e *Endpoint) postSlab(slab int) {
+// stageSlabLocked records one empty receive slab in the free ring without
+// publishing it; publishFreeLocked makes the staged set visible with one
+// index store.
+func (e *Endpoint) stageSlabLocked(slab int) {
 	e.slabHeld[slab] = true
 	e.sh.RXFree.WriteDesc(e.rxFreeHead, Desc{Len: platform.PageSize, Kind: KindShared, Ref: uint64(slab)})
 	e.rxFreeHead++
-	e.sh.RXFree.Indexes().StoreProd(e.rxFreeHead)
 }
 
-// Recv returns the next received frame, or ErrRingEmpty. The descriptor
-// is snapshotted once and fully validated before any payload access; the
-// payload crosses into guest-private custody by exactly one early copy or
-// by page revocation, per the configured policy.
-func (e *Endpoint) Recv() (*RxFrame, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.dead != nil {
-		return nil, ErrDead
+// publishFreeLocked publishes every staged-but-unpublished receive slab.
+func (e *Endpoint) publishFreeLocked() {
+	if e.rxFreePub == e.rxFreeHead {
+		return
 	}
+	e.sh.RXFree.Indexes().StoreProd(e.rxFreeHead)
+	e.rxFreePub = e.rxFreeHead
+	e.meter.Publish(1)
+}
+
+// postSlab publishes one empty receive slab to the host. Caller holds
+// e.mu.
+func (e *Endpoint) postSlab(slab int) {
+	e.stageSlabLocked(slab)
+	e.publishFreeLocked()
+}
+
+// rxAvailLocked loads and validates the host's RXUsed producer index,
+// returning how many completed frames wait past rxTail.
+func (e *Endpoint) rxAvailLocked() (uint64, error) {
 	prod := e.sh.RXUsed.Indexes().LoadProd()
 	e.meter.Check(1)
 	avail, err := e.sh.RXUsed.checkPeerProd(prod, e.rxTail)
 	if err != nil {
-		return nil, e.fail(err)
+		return 0, e.fail(err)
 	}
-	if avail == 0 {
-		return nil, ErrRingEmpty
-	}
+	return avail, nil
+}
 
+// publishRXLocked publishes the consumer index for every frame consumed
+// since the last publication, plus any receive slabs staged for
+// reposting — one index store each, however many frames the batch moved.
+func (e *Endpoint) publishRXLocked() {
+	e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
+	e.meter.Publish(1)
+	e.publishFreeLocked()
+}
+
+// recvSlotLocked validates and consumes the completion at rxTail (which
+// the caller has established to be available), moving the payload into
+// guest custody per the configured policy. The descriptor is snapshotted
+// exactly once. The private tail advances but nothing is published;
+// callers amortize the consumer-index store via publishRXLocked.
+func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 	d := e.sh.RXUsed.ReadDesc(e.rxTail) // single snapshot
 	e.meter.Check(1)
 
@@ -307,11 +422,14 @@ func (e *Endpoint) Recv() (*RxFrame, error) {
 		e.sh.RXUsed.ReadInline(e.rxTail, buf[:d.Len])
 		e.meter.Copy(int(d.Len))
 		e.rxTail++
-		e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
 		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
 
 	default:
-		if int(d.Len) > e.sh.Cfg.FrameCap() || d.Len == 0 {
+		// FrameCap <= PageSize is enforced at construction (Validate), so
+		// the first comparison already bounds the access within one slab;
+		// the PageSize comparison keeps the slab bound explicit even if
+		// the config invariant ever changes.
+		if int(d.Len) > e.sh.Cfg.FrameCap() || int(d.Len) > platform.PageSize || d.Len == 0 {
 			return nil, e.fail(fmt.Errorf("%w: rx length %d", ErrProtocol, d.Len))
 		}
 		slab := int(d.Ref & uint64(e.sh.Cfg.Slots-1))
@@ -330,7 +448,6 @@ func (e *Endpoint) Recv() (*RxFrame, error) {
 			e.sh.RXData.Revoke(off, platform.PageSize)
 			data := e.sh.RXData.Region().Slice(off, int(d.Len))
 			e.rxTail++
-			e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
 			//ciovet:allow sharedescape slab revoked above: the host can no longer write these pages, so handing out the in-place view is single-fetch-safe until Release reshares
 			return &RxFrame{ep: e, sh: e.sh, data: data, slab: slab}, nil
 		}
@@ -338,11 +455,74 @@ func (e *Endpoint) Recv() (*RxFrame, error) {
 		buf := e.pool.Get().([]byte)
 		e.sh.RXData.Region().ReadAt(buf[:d.Len], off)
 		e.meter.Copy(int(d.Len))
-		e.postSlab(slab)
+		e.stageSlabLocked(slab)
 		e.rxTail++
-		e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
 		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
 	}
+}
+
+// Recv returns the next received frame, or ErrRingEmpty. The descriptor
+// is snapshotted once and fully validated before any payload access; the
+// payload crosses into guest-private custody by exactly one early copy or
+// by page revocation, per the configured policy.
+func (e *Endpoint) Recv() (*RxFrame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return nil, ErrDead
+	}
+	avail, err := e.rxAvailLocked()
+	if err != nil {
+		return nil, err
+	}
+	if avail == 0 {
+		return nil, ErrRingEmpty
+	}
+	fr, err := e.recvSlotLocked()
+	if err != nil {
+		return nil, err
+	}
+	e.publishRXLocked()
+	return fr, nil
+}
+
+// RecvBatch dequeues up to len(out) received frames into out, validating
+// the host's producer index once and publishing the consumer index (and
+// any reposted receive slabs) once for the whole batch. It returns how
+// many frames were delivered; (0, ErrRingEmpty) when none waited.
+// Fail-dead semantics are unchanged: a protocol violation mid-batch kills
+// the endpoint and returns the frames already accepted alongside the
+// fatal error; every later call returns ErrDead.
+func (e *Endpoint) RecvBatch(out []*RxFrame) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead != nil {
+		return 0, ErrDead
+	}
+	avail, err := e.rxAvailLocked()
+	if err != nil {
+		return 0, err
+	}
+	if avail == 0 {
+		return 0, ErrRingEmpty
+	}
+	n := 0
+	for n < len(out) && uint64(n) < avail {
+		fr, ferr := e.recvSlotLocked()
+		if ferr != nil {
+			if n > 0 {
+				e.publishRXLocked()
+			}
+			return n, ferr
+		}
+		out[n] = fr
+		n++
+	}
+	e.publishRXLocked()
+	return n, nil
 }
 
 // RXBell returns the doorbell the host rings when frames arrive, or nil

@@ -3,6 +3,8 @@ package safering
 import (
 	"errors"
 	"testing"
+
+	"confio/internal/platform"
 )
 
 // fuzzCfg is a small-ring variant of cfgFor so each fuzz iteration builds
@@ -47,6 +49,12 @@ func FuzzDescDecode(f *testing.F) {
 		f.Add(descBytes(Desc{Len: 64, Kind: KindShared, Ref: 2}), uint64(3), mode)                   // replayed slab
 		f.Add(descBytes(Desc{Len: 0, Kind: KindIndirect, Ref: ^uint64(0)}), ^uint64(0), mode)        // extremes
 		f.Add(descBytes(Desc{Len: 1500, Kind: KindShared, Ref: uint64(1)<<32 | 5}), uint64(2), mode) // stale generation
+		// Lengths straddling the one-page slab boundary: exactly at the
+		// slab, one inside, one past (the off-by-one a slab-bound bug
+		// would miss).
+		f.Add(descBytes(Desc{Len: platform.PageSize, Kind: KindShared, Ref: 1}), uint64(1), mode)
+		f.Add(descBytes(Desc{Len: platform.PageSize - 1, Kind: KindShared, Ref: 1}), uint64(1), mode)
+		f.Add(descBytes(Desc{Len: platform.PageSize + 1, Kind: KindShared, Ref: 1}), uint64(1), mode)
 	}
 
 	f.Fuzz(func(t *testing.T, raw []byte, prod uint64, modeSel byte) {

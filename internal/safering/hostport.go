@@ -1,6 +1,7 @@
 package safering
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -71,6 +72,50 @@ func (h *HostPort) Pop(buf []byte) (int, error) {
 		return 0, h.fail(err)
 	}
 	h.txTail++
+	h.sh.TX.Indexes().StoreCons(h.txTail)
+	return n, nil
+}
+
+// PopBatch dequeues up to len(bufs) guest transmit frames, one per
+// buffer, loading and validating the guest's producer index once and
+// publishing the consumer index once for the whole burst. lens[i]
+// receives the length of the frame in bufs[i]; each buffer must hold
+// FrameCap bytes and len(lens) must cover len(bufs). A violation
+// mid-burst poisons the port and reports the frames already consumed.
+func (h *HostPort) PopBatch(bufs [][]byte, lens []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	if len(lens) < len(bufs) {
+		return 0, fmt.Errorf("safering: PopBatch lens (%d) shorter than bufs (%d)", len(lens), len(bufs))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return 0, ErrDead
+	}
+	prod := h.sh.TX.Indexes().LoadProd()
+	avail, err := h.sh.TX.checkPeerProd(prod, h.txTail)
+	if err != nil {
+		return 0, h.fail(err)
+	}
+	if avail == 0 {
+		return 0, ErrRingEmpty
+	}
+	n := 0
+	for n < len(bufs) && uint64(n) < avail {
+		d := h.sh.TX.ReadDesc(h.txTail) // single snapshot per slot
+		ln, gerr := h.gather(d, bufs[n])
+		if gerr != nil {
+			if n > 0 {
+				h.sh.TX.Indexes().StoreCons(h.txTail)
+			}
+			return n, h.fail(gerr)
+		}
+		lens[n] = ln
+		h.txTail++
+		n++
+	}
 	h.sh.TX.Indexes().StoreCons(h.txTail)
 	return n, nil
 }
@@ -147,7 +192,65 @@ func (h *HostPort) Push(frame []byte) error {
 	if h.rxHead-cons >= h.sh.RXUsed.NSlots() {
 		return ErrRingFull
 	}
+	if err := h.stagePushLocked(frame); err != nil {
+		return err
+	}
+	h.publishPushLocked()
+	return nil
+}
 
+// PushBatch delivers up to len(frames) frames toward the guest,
+// validating the guest's consumer index once and publishing the producer
+// index + doorbell once for the burst. It returns how many frames were
+// accepted; (0, ErrRingFull) when the guest has no capacity at all, and a
+// short count when capacity ran out mid-burst (the device drops the rest;
+// DoS is out of the threat model).
+func (h *HostPort) PushBatch(frames [][]byte) (int, error) {
+	for _, f := range frames {
+		if len(f) == 0 || len(f) > h.sh.Cfg.FrameCap() {
+			return 0, fmt.Errorf("%w: push of %d bytes", ErrFrameSize, len(f))
+		}
+	}
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead != nil {
+		return 0, ErrDead
+	}
+	cons := h.sh.RXUsed.Indexes().LoadCons()
+	if err := h.sh.RXUsed.checkPeerCons(cons, h.rxHead, h.rxConsSeen); err != nil {
+		return 0, h.fail(err)
+	}
+	h.rxConsSeen = cons
+	n := 0
+	for _, f := range frames {
+		if h.rxHead-cons >= h.sh.RXUsed.NSlots() {
+			break
+		}
+		if err := h.stagePushLocked(f); err != nil {
+			if errors.Is(err, ErrRingFull) { // no free slab posted: partial burst
+				break
+			}
+			if n > 0 {
+				h.publishPushLocked()
+			}
+			return n, err
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, ErrRingFull
+	}
+	h.publishPushLocked()
+	return n, nil
+}
+
+// stagePushLocked stages one frame at rxHead and advances the private
+// head without publishing; publishPushLocked makes the staged burst
+// visible with one index store and at most one doorbell ring.
+func (h *HostPort) stagePushLocked(frame []byte) error {
 	if h.sh.Cfg.Mode == Inline {
 		h.sh.RXUsed.WriteInline(h.rxHead, frame)
 		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindInline})
@@ -165,11 +268,14 @@ func (h *HostPort) Push(frame []byte) error {
 		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(slab)})
 	}
 	h.rxHead++
+	return nil
+}
+
+func (h *HostPort) publishPushLocked() {
 	h.sh.RXUsed.Indexes().StoreProd(h.rxHead)
 	if h.sh.RXBell != nil {
 		h.sh.RXBell.Ring()
 	}
-	return nil
 }
 
 // popFreeSlab consumes the next guest-posted receive slab.

@@ -1,8 +1,6 @@
 package safering
 
 import (
-	"fmt"
-
 	"confio/internal/platform"
 	"confio/internal/shmem"
 )
@@ -83,9 +81,8 @@ func newShared(cfg DeviceConfig, meter *platform.Meter) (*Shared, error) {
 		if sh.TXData, err = shmem.NewArena(slabSize, slabs); err != nil {
 			return nil, err
 		}
-		if cfg.FrameCap() > platform.PageSize {
-			return nil, fmt.Errorf("%w: frame capacity %d exceeds one RX page", ErrConfig, cfg.FrameCap())
-		}
+		// FrameCap <= PageSize is part of Validate's contract now; the
+		// one-page slab geometry below depends on it.
 		if sh.RXData, err = platform.NewWindow(cfg.Slots*platform.PageSize, meter); err != nil {
 			return nil, err
 		}

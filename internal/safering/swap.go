@@ -31,14 +31,15 @@ func (e *Endpoint) Swap() (*Shared, error) {
 	for i := range e.txHandles {
 		e.txHandles[i] = nil
 	}
-	e.rxTail, e.rxFreeHead = 0, 0
+	e.rxTail, e.rxFreeHead, e.rxFreePub = 0, 0, 0
 	if e.slabHeld != nil {
 		for i := range e.slabHeld {
 			e.slabHeld[i] = false
 		}
 		for slab := 0; slab < e.sh.Cfg.Slots; slab++ {
-			e.postSlab(slab)
+			e.stageSlabLocked(slab)
 		}
+		e.publishFreeLocked()
 	}
 	return sh, nil
 }

@@ -221,6 +221,47 @@ func TestMaskedSlabRefCannotEscape(t *testing.T) {
 	_ = rx2
 }
 
+func TestAdversarialHostBatchReplayIsFatalMidBatch(t *testing.T) {
+	// The batched receive path must apply the same replay detection per
+	// slot that Recv does: a burst of two honest completions followed by a
+	// replay of the first delivers exactly the honest frames, reports the
+	// violation, and leaves the endpoint dead. Revoke mode so the replayed
+	// slab is guest-held at detection time (a use-after-free attempt).
+	cfg := cfgFor(SharedArea, Revoke)
+	ep, _ := New(cfg, nil)
+	hp := NewHostPort(ep.Shared())
+	sh := ep.Shared()
+	honest := [][]byte{frame(100, 1), frame(150, 2)}
+	if n, err := hp.PushBatch(honest); err != nil || n != 2 {
+		t.Fatalf("PushBatch = %d, %v", n, err)
+	}
+	sh.RXUsed.WriteDesc(2, sh.RXUsed.ReadDesc(0)) // replay the first completion
+	sh.RXUsed.Indexes().StoreProd(3)
+
+	out := make([]*RxFrame, 8)
+	n, err := ep.RecvBatch(out)
+	if n != 2 {
+		t.Fatalf("delivered %d frames before the replay, want 2", n)
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("replayed completion mid-batch: %v, want ErrProtocol", err)
+	}
+	for i := 0; i < n; i++ {
+		if got := out[i].Bytes(); len(got) != len(honest[i]) {
+			t.Fatalf("honest frame %d length %d, want %d", i, len(got), len(honest[i]))
+		}
+	}
+	if _, err := ep.RecvBatch(out); !errors.Is(err, ErrDead) {
+		t.Fatalf("RecvBatch after violation: %v, want ErrDead", err)
+	}
+	if _, err := ep.SendBatch([][]byte{frame(64, 0)}); !errors.Is(err, ErrDead) {
+		t.Fatalf("SendBatch after violation: %v, want ErrDead", err)
+	}
+	if ep.Dead() == nil {
+		t.Fatal("Dead() nil after mid-batch violation")
+	}
+}
+
 func TestRevokedSlabPushFailsHonestHost(t *testing.T) {
 	// If the guest's posted-free bookkeeping and the window sharing state
 	// ever disagree, the honest host hits ErrRevoked and reports it.
