@@ -4,7 +4,7 @@ GO ?= go
 # cross-goroutine shared state (rings, slab pools, the core datapath).
 RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core
 
-.PHONY: all build test race vet ciovet fuzz fmt bench check
+.PHONY: all build test race vet ciovet fuzz fmt bench bench-mq check
 
 all: build
 
@@ -37,6 +37,11 @@ fmt:
 # lands in BENCH_batch.json for the analysis scripts.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatch_|BenchmarkFig5_' -benchmem -json . | tee BENCH_batch.json
+
+# Multi-queue scaling sweep (queues x batch); model-MB/s is the figure
+# of merit (see EXPERIMENTS.md) — wall MB/s only scales with spare cores.
+bench-mq:
+	$(GO) test -run '^$$' -bench 'BenchmarkMQ_' -benchmem -json . | tee BENCH_mq.json
 
 # The full verification gate, in increasing order of cost.
 check: fmt vet build ciovet test race

@@ -1,0 +1,135 @@
+package confio_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"confio/internal/platform"
+	"confio/internal/safering"
+)
+
+// --- Multi-queue ring datapath: queue-scaling sweep ---
+//
+// benchMQ drives every queue of an N-queue device concurrently: one
+// worker per queue runs the full batched cycle (guest SendBatch, host
+// PopBatch, host PushBatch, guest RecvBatch) on its own ring pair. The
+// queues share no datapath state — no common lock, no common index.
+//
+// Two throughput figures come out, matching the EXPERIMENTS.md
+// convention (wall numbers are simulator-relative; model numbers carry
+// the shape):
+//
+//   - MB/s (wall): scales with queues only when the Go runtime has the
+//     cores to run the workers in parallel (GOMAXPROCS=1 flattens it).
+//   - model-MB/s: total bytes over the *slowest queue's* modeled
+//     critical path, from per-queue meters. Queues of a multi-queue
+//     device proceed concurrently by construction, so the device-level
+//     modeled time is the per-queue maximum, not the sum — this is the
+//     scaling figure the EXPERIMENTS.md multi-queue table records, and
+//     imbalance (one overloaded queue) degrades it honestly.
+
+func benchMQ(b *testing.B, cfg safering.DeviceConfig, queues, batch int) {
+	bank := platform.NewMeterBank(queues)
+	m, err := safering.NewMulti(cfg, queues, bank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := safering.NewMultiHostPort(m.SharedQueues())
+
+	payload := make([]byte, 1400)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Per-queue scratch, allocated up front so the timed region is the
+	// zero-allocation steady state.
+	type scratch struct {
+		frames [][]byte
+		bufs   [][]byte
+		lens   []int
+		out    []*safering.RxFrame
+	}
+	per := make([]scratch, queues)
+	for q := range per {
+		per[q].frames = make([][]byte, batch)
+		per[q].bufs = make([][]byte, batch)
+		for i := 0; i < batch; i++ {
+			per[q].frames[i] = payload
+			per[q].bufs[i] = make([]byte, cfg.FrameCap())
+		}
+		per[q].lens = make([]int, batch)
+		per[q].out = make([]*safering.RxFrame, batch)
+	}
+
+	before := m.Costs()
+	beforeQ := m.QueueCosts()
+	b.SetBytes(int64(2 * batch * queues * len(payload)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for q := 0; q < queues; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			ep, h, s := m.Queue(q), hp.Queue(q), &per[q]
+			for i := 0; i < b.N; i++ {
+				if n, err := ep.SendBatch(s.frames); err != nil || n != batch {
+					b.Errorf("queue %d SendBatch = %d, %v", q, n, err)
+					return
+				}
+				if n, err := h.PopBatch(s.bufs, s.lens); err != nil || n != batch {
+					b.Errorf("queue %d PopBatch = %d, %v", q, n, err)
+					return
+				}
+				if n, err := h.PushBatch(s.frames); err != nil || n != batch {
+					b.Errorf("queue %d PushBatch = %d, %v", q, n, err)
+					return
+				}
+				n, err := ep.RecvBatch(s.out)
+				if err != nil || n != batch {
+					b.Errorf("queue %d RecvBatch = %d, %v", q, n, err)
+					return
+				}
+				for j := 0; j < n; j++ {
+					s.out[j].Release()
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	b.StopTimer()
+	d := m.Costs().Sub(before)
+	framesMoved := float64(2 * b.N * batch * queues)
+	b.ReportMetric(float64(d.IndexPublishes)/framesMoved, "pub/frame")
+	b.ReportMetric(d.ModelNanos(platform.DefaultCostParams())/framesMoved, "model-ns/frame")
+
+	// Device-level modeled time: the queues run concurrently, so the
+	// critical path is the slowest queue's modeled nanos.
+	crit := 0.0
+	for q, after := range m.QueueCosts() {
+		if ns := after.Sub(beforeQ[q]).ModelNanos(platform.DefaultCostParams()); ns > crit {
+			crit = ns
+		}
+	}
+	if crit > 0 {
+		totalBytes := float64(2*b.N*batch) * float64(queues) * float64(len(payload))
+		b.ReportMetric(totalBytes/(crit/1e9)/1e6, "model-MB/s")
+	}
+}
+
+func benchMQSweep(b *testing.B, mode safering.DataMode) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = mode
+	if mode != safering.Inline {
+		cfg.SlotSize = 64
+	}
+	for _, queues := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{16, 64} {
+			b.Run(fmt.Sprintf("q%d/batch%d", queues, batch), func(b *testing.B) {
+				benchMQ(b, cfg, queues, batch)
+			})
+		}
+	}
+}
+
+func BenchmarkMQ_Inline(b *testing.B)     { benchMQSweep(b, safering.Inline) }
+func BenchmarkMQ_SharedArea(b *testing.B) { benchMQSweep(b, safering.SharedArea) }

@@ -11,6 +11,7 @@
 //	ciobench -echo 200 -size 256 -bulk 4
 //	ciobench -design dual-boundary -v
 //	ciobench -batch          # batched-datapath amortization table
+//	ciobench -queues         # multi-queue scaling table (queues x batch)
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	storage := flag.Bool("storage", false, "run the §3.3 storage designs instead")
 	sweep := flag.Bool("sweep", false, "sweep request sizes to locate design crossovers")
 	batch := flag.Bool("batch", false, "sweep batch sizes over the safe ring's batched datapath")
+	queues := flag.Bool("queues", false, "sweep queue counts over the multi-queue ring datapath")
 	flag.Parse()
 
 	if *storage {
@@ -46,6 +48,10 @@ func main() {
 	}
 	if *batch {
 		runBatch()
+		return
+	}
+	if *queues {
+		runMQ()
 		return
 	}
 
@@ -195,6 +201,102 @@ func batchRun(mode safering.DataMode, batch int) (notif, pub, modelNs float64, e
 	moved := float64(2 * rounds * batch)
 	return float64(d.Notifications) / moved, float64(d.IndexPublishes) / moved,
 		d.ModelNanos(platform.DefaultCostParams()) / moved, nil
+}
+
+// runMQ prints the multi-queue scaling table: for each queue count and
+// batch size, the per-frame index publications and modelled time, plus
+// the device-level modelled throughput. The queues of a multi-queue
+// device proceed concurrently (independent ring pairs, no shared lock),
+// so the device's modelled time is the slowest queue's critical path —
+// that is the column that scales with the queue count.
+func runMQ() {
+	fmt.Println("== multi-queue ring datapath: scaling table ==")
+	fmt.Printf("%-14s %-7s %-7s %11s %15s %13s\n",
+		"mode", "queues", "batch", "pub/frame", "model-ns/frame", "model-MB/s")
+	for _, mode := range []safering.DataMode{safering.Inline, safering.SharedArea} {
+		for _, queues := range []int{1, 2, 4, 8} {
+			for _, batch := range []int{16, 64} {
+				pub, model, mbps, err := mqRun(mode, queues, batch)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ciobench: %v/q%d/batch%d: %v\n", mode, queues, batch, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%-14s %-7d %-7d %11.4f %15.1f %13.0f\n",
+					mode, queues, batch, pub, model, mbps)
+			}
+		}
+	}
+	fmt.Println("\nreading: per-frame cost is flat in the queue count (each queue is an")
+	fmt.Println("independent ring pair), so the device's modelled throughput — total bytes")
+	fmt.Println("over the slowest queue's critical path — scales linearly with queues.")
+}
+
+// mqRun moves a fixed frame count through every queue of an N-queue
+// device and returns per-frame meter readings plus the device-level
+// modelled throughput (bytes over the slowest queue's modelled nanos).
+func mqRun(mode safering.DataMode, queues, batch int) (pub, modelNs, modelMBps float64, err error) {
+	cfg := safering.DefaultConfig()
+	cfg.Mode = mode
+	if mode != safering.Inline {
+		cfg.SlotSize = 64
+	}
+	bank := platform.NewMeterBank(queues)
+	m, err := safering.NewMulti(cfg, queues, bank)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hp := safering.NewMultiHostPort(m.SharedQueues())
+	payload := make([]byte, 1400)
+	frames := make([][]byte, batch)
+	for i := range frames {
+		frames[i] = payload
+	}
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, cfg.FrameCap())
+	}
+	lens := make([]int, batch)
+	out := make([]*safering.RxFrame, batch)
+
+	const targetFramesPerQueue = 4096
+	rounds := targetFramesPerQueue / batch
+	before := m.Costs()
+	beforeQ := m.QueueCosts()
+	for r := 0; r < rounds; r++ {
+		for q := 0; q < queues; q++ {
+			ep, h := m.Queue(q), hp.Queue(q)
+			if n, berr := ep.SendBatch(frames); berr != nil || n != batch {
+				return 0, 0, 0, fmt.Errorf("queue %d SendBatch = %d, %v", q, n, berr)
+			}
+			if n, berr := h.PopBatch(bufs, lens); berr != nil || n != batch {
+				return 0, 0, 0, fmt.Errorf("queue %d PopBatch = %d, %v", q, n, berr)
+			}
+			if n, berr := h.PushBatch(frames); berr != nil || n != batch {
+				return 0, 0, 0, fmt.Errorf("queue %d PushBatch = %d, %v", q, n, berr)
+			}
+			n, berr := ep.RecvBatch(out)
+			if berr != nil || n != batch {
+				return 0, 0, 0, fmt.Errorf("queue %d RecvBatch = %d, %v", q, n, berr)
+			}
+			for j := 0; j < n; j++ {
+				out[j].Release()
+			}
+		}
+	}
+	params := platform.DefaultCostParams()
+	d := m.Costs().Sub(before)
+	moved := float64(2 * rounds * batch * queues)
+	crit := 0.0
+	for q, after := range m.QueueCosts() {
+		if ns := after.Sub(beforeQ[q]).ModelNanos(params); ns > crit {
+			crit = ns
+		}
+	}
+	totalBytes := moved * float64(len(payload))
+	if crit > 0 {
+		modelMBps = totalBytes / (crit / 1e9) / 1e6
+	}
+	return float64(d.IndexPublishes) / moved, d.ModelNanos(params) / moved, modelMBps, nil
 }
 
 func runStorage(verbose bool) {

@@ -72,6 +72,7 @@ const (
 	AtkNotifStorm      = "notification-storm"
 	AtkFeatureTOCTOU   = "feature-toctou"
 	AtkStaleMemory     = "stale-memory-leak"
+	AtkQueueCrossKill  = "queue-cross-kill"
 	AtkL5AfterL2Breach = "l5-after-l2-breach"
 )
 
@@ -79,12 +80,12 @@ const (
 var AttackNames = []string{
 	AtkIndexOverclaim, AtkIndexRewind, AtkLengthLie, AtkDoubleFetch,
 	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkFeatureTOCTOU,
-	AtkStaleMemory, AtkL5AfterL2Breach,
+	AtkStaleMemory, AtkQueueCrossKill, AtkL5AfterL2Breach,
 }
 
 // TransportNames in matrix order.
 var TransportNames = []string{
-	"safering", "safering-revoke", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened",
+	"safering", "safering-revoke", "safering-mq", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened",
 }
 
 // Suite returns every scenario.

@@ -14,8 +14,9 @@ func TestResilienceMatrix(t *testing.T) {
 	}
 	byTransport := Summary(results)
 
-	// Claim 1: the safe ring is never compromised, in either RX policy.
-	for _, tr := range []string{"safering", "safering-revoke"} {
+	// Claim 1: the safe ring is never compromised — in either RX policy,
+	// and with multiple queues (no per-queue weakening of the argument).
+	for _, tr := range []string{"safering", "safering-revoke", "safering-mq"} {
 		if n := byTransport[tr][Compromised]; n != 0 {
 			t.Errorf("%s compromised %d times", tr, n)
 			logTransport(t, results, tr)
@@ -92,6 +93,9 @@ func TestSuiteCoverage(t *testing.T) {
 			}
 			if atk == AtkIndexRewind && !strings.HasPrefix(tr, "safering") {
 				continue // modelled only where consumer indexes exist separately
+			}
+			if atk == AtkQueueCrossKill && !strings.HasPrefix(tr, "safering") {
+				continue // needs sibling queues; baselines model single-queue devices
 			}
 			if !have[[2]string{atk, tr}] {
 				t.Errorf("no scenario for %s × %s", atk, tr)

@@ -15,12 +15,17 @@ import (
 func saferingScenarios() []Scenario {
 	var out []Scenario
 	for _, variant := range []struct {
-		name string
-		rx   safering.RXPolicy
-		mode safering.DataMode
+		name   string
+		rx     safering.RXPolicy
+		mode   safering.DataMode
+		queues int
 	}{
-		{"safering", safering.CopyOut, safering.SharedArea},
-		{"safering-revoke", safering.Revoke, safering.SharedArea},
+		{"safering", safering.CopyOut, safering.SharedArea, 1},
+		{"safering-revoke", safering.Revoke, safering.SharedArea, 1},
+		// The multi-queue column attacks one queue of a 4-queue device:
+		// every single-queue attack class must stay blocked there, and
+		// the cross-kill scenario checks the blast radius is device-wide.
+		{"safering-mq", safering.CopyOut, safering.SharedArea, 4},
 	} {
 		v := variant
 		mk := func() (*safering.Endpoint, *safering.HostPort) {
@@ -28,6 +33,14 @@ func saferingScenarios() []Scenario {
 			cfg.Mode = v.mode
 			cfg.RX = v.rx
 			cfg.SlotSize = 64
+			if v.queues > 1 {
+				m, err := safering.NewMulti(cfg, v.queues, nil)
+				if err != nil {
+					panic(err)
+				}
+				hp := safering.NewMultiHostPort(m.SharedQueues())
+				return m.Queue(0), hp.Queue(0)
+			}
 			ep, err := safering.New(cfg, nil)
 			if err != nil {
 				panic(err)
@@ -177,6 +190,32 @@ func saferingScenarios() []Scenario {
 			}},
 			Scenario{AtkFeatureTOCTOU, v.name, func() Result {
 				return na(AtkFeatureTOCTOU, v.name, "zero-negotiation: no control plane exists")
+			}},
+			Scenario{AtkQueueCrossKill, v.name, func() Result {
+				if v.queues <= 1 {
+					return na(AtkQueueCrossKill, v.name, "single queue: no sibling to kill selectively")
+				}
+				cfg := safering.DefaultConfig()
+				cfg.Mode = v.mode
+				cfg.RX = v.rx
+				cfg.SlotSize = 64
+				m, err := safering.NewMulti(cfg, v.queues, nil)
+				if err != nil {
+					panic(err)
+				}
+				// Host corrupts exactly one queue, hoping to kill it
+				// selectively and keep studying traffic on the survivors.
+				m.Queue(2).Shared().RXUsed.Indexes().StoreProd(uint64(cfg.Slots) * 4)
+				if _, err := m.Queue(2).Recv(); !errors.Is(err, safering.ErrProtocol) {
+					return compromised(AtkQueueCrossKill, v.name, "overclaim on queue 2 accepted")
+				}
+				for q := 0; q < v.queues; q++ {
+					if err := m.Queue(q).Send(frame(64, byte(q))); !errors.Is(err, safering.ErrDead) {
+						return compromised(AtkQueueCrossKill, v.name,
+							fmt.Sprintf("queue %d still accepts I/O after sibling violation", q))
+					}
+				}
+				return blocked(AtkQueueCrossKill, v.name, "violation on one queue fail-deads the whole device")
 			}},
 			Scenario{AtkStaleMemory, v.name, func() Result {
 				ep, hp := mk()

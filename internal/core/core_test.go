@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"confio/internal/observe"
+	"confio/internal/platform"
 	"confio/internal/tcb"
 )
 
@@ -290,5 +291,53 @@ func TestMixWorkload(t *testing.T) {
 	}
 	if res.Ops != 32 {
 		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestMultiQueueEchoWorld(t *testing.T) {
+	for _, id := range []DesignID{HostSocket, L2SafeRing, DualBoundary} {
+		t.Run(string(id), func(t *testing.T) {
+			w, err := NewWorldQueues(id, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			if w.Queues() != 4 {
+				t.Fatalf("Queues() = %d", w.Queues())
+			}
+			res, err := w.RunEcho(20, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 20 {
+				t.Fatalf("ops = %d", res.Ops)
+			}
+			// The per-queue meters must have seen the traffic: the
+			// aggregated device snapshot carries the datapath costs.
+			if id != HostSocket {
+				qc := w.QueueCosts()
+				if len(qc) != 4 {
+					t.Fatalf("QueueCosts() = %d entries", len(qc))
+				}
+				total := platform.Costs{}
+				for _, c := range qc {
+					total = total.Add(c)
+				}
+				if total.IndexPublishes == 0 {
+					t.Fatal("no index publishes recorded across queues")
+				}
+			}
+		})
+	}
+}
+
+func TestMultiQueueRejectsIncompatibleDesigns(t *testing.T) {
+	for _, id := range []DesignID{Tunnel, L2Virtio, L2VirtioHardened, L2Netvsc} {
+		if _, err := NewWorldQueues(id, 4); err == nil {
+			t.Errorf("NewWorldQueues(%s, 4) should fail: design is single-queue", id)
+		}
+	}
+	if _, err := NewWorldQueues(L2SafeRing, 0); err == nil {
+		t.Error("NewWorldQueues(_, 0) should fail")
 	}
 }

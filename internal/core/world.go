@@ -44,8 +44,12 @@ type World struct {
 	ID    DesignID
 	Net   *simnet.Network
 	Meter *platform.Meter
-	Obs   *observe.Meter
+	// Bank holds per-queue meters for multi-queue worlds (nil when the
+	// world runs a single queue). Costs() aggregates it into the total.
+	Bank *platform.MeterBank
+	Obs  *observe.Meter
 
+	queues int
 	psk    []byte
 	client *node
 	server *node
@@ -64,17 +68,35 @@ type node struct {
 	transport any
 }
 
-// NewWorld assembles a design point. Callers must Close it.
-func NewWorld(id DesignID) (*World, error) {
+// NewWorld assembles a single-queue design point. Callers must Close it.
+func NewWorld(id DesignID) (*World, error) { return NewWorldQueues(id, 1) }
+
+// NewWorldQueues assembles a design point whose safe-ring transport runs
+// N independent queues with flow steering (see nic.FlowHash). Only the
+// safe-ring designs compose with multi-queue; the tunnel design wraps
+// the NIC in an encryption layer that is single-queue, and the baseline
+// transports model single-queue devices.
+func NewWorldQueues(id DesignID, queues int) (*World, error) {
 	if _, err := MetaOf(id); err != nil {
 		return nil, err
 	}
+	if queues < 1 {
+		return nil, fmt.Errorf("core: %d queues", queues)
+	}
+	if queues > 1 {
+		switch id {
+		case HostSocket, L2SafeRing, DualBoundary:
+		default:
+			return nil, fmt.Errorf("core: design %s does not support multi-queue", id)
+		}
+	}
 	w := &World{
-		ID:    id,
-		Net:   simnet.New(),
-		Meter: &platform.Meter{},
-		Obs:   observe.NewMeter(),
-		psk:   []byte("attested-" + string(id) + "-psk-0123456789abcdef"),
+		ID:     id,
+		Net:    simnet.New(),
+		Meter:  &platform.Meter{},
+		Obs:    observe.NewMeter(),
+		queues: queues,
+		psk:    []byte("attested-" + string(id) + "-psk-0123456789abcdef"),
 	}
 
 	// Wire the on-path observer: what anyone watching the network sees.
@@ -124,6 +146,30 @@ func (w *World) buildNode(ip ipv4.Addr, macLast byte) (*node, error) {
 	case HostSocket, L2SafeRing, Tunnel, DualBoundary:
 		cfg := safering.DefaultConfig()
 		cfg.MAC[5] = macLast
+		if w.queues > 1 {
+			// Multi-queue device: N independent ring pairs behind one
+			// fail-dead latch, per-queue meters aggregated into the
+			// world's cost snapshot, and an RSS-style multi-pump.
+			// Both nodes charge the same bank, mirroring how single-queue
+			// worlds share one w.Meter across client and server.
+			var bank *platform.MeterBank
+			if guestMeter != nil {
+				if w.Bank == nil {
+					w.Bank = platform.NewMeterBank(w.queues)
+				}
+				bank = w.Bank
+			}
+			mep, err := safering.NewMulti(cfg, w.queues, bank)
+			if err != nil {
+				return nil, err
+			}
+			guest = mep.NIC()
+			mhp := safering.NewMultiHostPort(mep.SharedQueues())
+			mpump := nic.StartMultiPump(mhp.HostNICs(), w.Net.NewPort())
+			w.closers = append(w.closers, mpump.Stop)
+			n.transport = mep
+			break
+		}
 		ep, err := safering.New(cfg, guestMeter)
 		if err != nil {
 			return nil, err
@@ -194,8 +240,10 @@ func (w *World) buildNode(ip ipv4.Addr, macLast byte) (*node, error) {
 		guest = tg
 	}
 
-	pump := nic.StartPump(host, w.Net.NewPort())
-	w.closers = append(w.closers, pump.Stop)
+	if host != nil { // multi-queue worlds started their pump above
+		pump := nic.StartPump(host, w.Net.NewPort())
+		w.closers = append(w.closers, pump.Stop)
+	}
 
 	n.stack = netstack.New(guest, ip)
 	n.stack.Start()
@@ -408,8 +456,16 @@ func (w *World) RunMix(n int) (workload.Result, error) {
 	return res, nil
 }
 
-// Costs snapshots the confidential-side cost meter.
-func (w *World) Costs() platform.Costs { return w.Meter.Snapshot() }
+// Costs snapshots the confidential-side cost meter, aggregating the
+// per-queue bank of a multi-queue world into the total.
+func (w *World) Costs() platform.Costs { return w.Meter.Snapshot().Add(w.Bank.Snapshot()) }
+
+// Queues returns the transport queue count (1 for single-queue worlds).
+func (w *World) Queues() int { return w.queues }
+
+// QueueCosts returns per-queue cost snapshots (nil for single-queue or
+// unmetered worlds).
+func (w *World) QueueCosts() []platform.Costs { return w.Bank.QueueSnapshots() }
 
 // Observability reports what the host has seen so far.
 func (w *World) Observability() observe.Report { return w.Obs.Report() }

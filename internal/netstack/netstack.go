@@ -27,6 +27,8 @@ import (
 // Stack is one host's network stack bound to a NIC.
 type Stack struct {
 	g  nic.Guest
+	bg nic.BatchGuest // non-nil when g batches (resolved once, not per send)
+	mq nic.MultiGuest // non-nil when g is multi-queue
 	ip ipv4.Addr
 
 	TCP *tcp.Endpoint
@@ -78,6 +80,8 @@ func New(g nic.Guest, ip ipv4.Addr) *Stack {
 		arpWait:  make(map[ipv4.Addr][]pendingPkt),
 		stop:     make(chan struct{}),
 	}
+	s.bg, _ = g.(nic.BatchGuest)
+	s.mq, _ = g.(nic.MultiGuest)
 	s.TCP = tcp.NewEndpoint(ip, g.MTU(), func(dst ipv4.Addr, seg []byte) {
 		s.sendIP(dst, ipv4.ProtoTCP, seg)
 	}, nil)
@@ -116,7 +120,7 @@ const rxBurst = 64
 
 func (s *Stack) loop() {
 	defer s.wg.Done()
-	bg, _ := s.g.(nic.BatchGuest)
+	bg := s.bg
 	var burst []nic.Frame
 	if bg != nil {
 		burst = make([]nic.Frame, rxBurst)
@@ -130,7 +134,22 @@ func (s *Stack) loop() {
 		default:
 		}
 		worked := false
-		if bg != nil {
+		if s.mq != nil {
+			// Multi-queue receive drains every queue each iteration: each
+			// queue gets its own batched dequeue (own index validation,
+			// own consumer publication), and no queue can starve another.
+			for q := 0; q < s.mq.NumQueues(); q++ {
+				n, _ := s.mq.Queue(q).RecvBatch(burst)
+				for i := 0; i < n; i++ {
+					s.handleFrame(burst[i].Bytes())
+					burst[i].Release()
+					burst[i] = nil
+				}
+				if n > 0 {
+					worked = true
+				}
+			}
+		} else if bg != nil {
 			// One batched dequeue: the transport validates the peer index
 			// once and publishes the consumer index once for the burst.
 			n, err := bg.RecvBatch(burst)
@@ -333,7 +352,16 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 	for i, p := range payloads {
 		frames[i] = ether.Marshal(nil, ether.Frame{Dst: dst, Src: src, Type: typ, Payload: p})
 	}
-	bg, _ := s.g.(nic.BatchGuest)
+	bg := s.bg
+	if s.mq != nil {
+		// Pin the flow to one queue, chosen from the stack's own frame
+		// bytes (never a host-supplied queue id). One sendFrames burst is
+		// one flow — at most the fragments of a single datagram, which
+		// FlowHash steers identically — so steering the burst by its
+		// first frame keeps per-flow frame order while different flows
+		// spread across queues and scale.
+		bg = s.mq.Queue(nic.QueueFor(frames[0], s.mq.NumQueues()))
+	}
 	sent := 0
 	for i := 0; i < sendRetries && sent < len(frames); i++ {
 		if bg != nil {

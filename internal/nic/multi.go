@@ -1,0 +1,391 @@
+package nic
+
+// Multi-queue NIC contract and pump: N independent queues behind one
+// device, with guest-computed flow steering on transmit and RSS-style
+// steering of inbound traffic across per-queue device threads.
+//
+// The queues share nothing on the datapath — no common lock, no common
+// index — so senders pinned to different queues scale. What they do
+// share is fate: the underlying transport (safering.MultiEndpoint) wires
+// every queue to one fail-dead latch, so a protocol violation observed
+// on any queue surfaces as ErrClosed on all of them.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confio/internal/simnet"
+)
+
+// MultiGuest is a BatchGuest with N independently drainable queues. The
+// embedded BatchGuest methods operate on the device as a whole (steered
+// send, fair receive); Queue(i) exposes one queue for callers — like the
+// network stack — that pin flows to queues themselves.
+type MultiGuest interface {
+	BatchGuest
+	// NumQueues returns the fixed queue count.
+	NumQueues() int
+	// Queue returns queue i's guest view.
+	Queue(i int) BatchGuest
+}
+
+// MultiHost mirrors MultiGuest on the device side.
+type MultiHost interface {
+	BatchHost
+	// NumQueues returns the fixed queue count.
+	NumQueues() int
+	// QueueHost returns queue i's backend view.
+	QueueHost(i int) BatchHost
+}
+
+// GuestMux aggregates per-queue guests into one MultiGuest.
+//
+// SendBatch steers the whole burst to one queue chosen by the first
+// frame's FlowHash. That is correct because a burst is one flow's frames
+// (the in-tree stack marshals one packet — possibly several fragments,
+// which hash identically — per burst); it is also what keeps the mux
+// lock-free: per-frame partitioning would need shared scratch and a
+// mutex, serializing the senders the queues exist to unserialize.
+type GuestMux struct {
+	queues []BatchGuest
+	cursor atomic.Uint32 // rotating receive start, for drain fairness
+}
+
+// NewGuestMux builds a MultiGuest over per-queue guests (at least one).
+func NewGuestMux(queues []BatchGuest) *GuestMux {
+	if len(queues) == 0 {
+		panic("nic: GuestMux needs at least one queue")
+	}
+	return &GuestMux{queues: queues}
+}
+
+// NumQueues implements MultiGuest.
+func (m *GuestMux) NumQueues() int { return len(m.queues) }
+
+// Queue implements MultiGuest.
+func (m *GuestMux) Queue(i int) BatchGuest { return m.queues[i] }
+
+// MAC implements nic.Guest (all queues share the station address).
+func (m *GuestMux) MAC() [6]byte { return m.queues[0].MAC() }
+
+// MTU implements nic.Guest.
+func (m *GuestMux) MTU() int { return m.queues[0].MTU() }
+
+// Send implements nic.Guest: the frame steers itself.
+func (m *GuestMux) Send(frame []byte) error {
+	return m.queues[QueueFor(frame, len(m.queues))].Send(frame)
+}
+
+// SendBatch implements nic.BatchGuest: the burst steers as a unit by its
+// first frame (see the type comment for why that is sound).
+func (m *GuestMux) SendBatch(frames [][]byte) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	return m.queues[QueueFor(frames[0], len(m.queues))].SendBatch(frames)
+}
+
+// Recv implements nic.Guest: one non-blocking try per queue, starting
+// from a rotating cursor so no queue starves.
+func (m *GuestMux) Recv() (Frame, error) {
+	start := int(m.cursor.Add(1))
+	for i := range m.queues {
+		q := m.queues[(start+i)%len(m.queues)]
+		f, err := q.Recv()
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, ErrEmpty) {
+			return nil, err
+		}
+	}
+	return nil, ErrEmpty
+}
+
+// RecvBatch implements nic.BatchGuest: it drains every queue in turn
+// (rotating the starting queue) until out is full or all queues are
+// empty. A fatal error from any queue is returned with whatever was
+// already dequeued.
+func (m *GuestMux) RecvBatch(out []Frame) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	start := int(m.cursor.Add(1))
+	filled := 0
+	for i := range m.queues {
+		q := m.queues[(start+i)%len(m.queues)]
+		n, err := q.RecvBatch(out[filled:])
+		filled += n
+		if err != nil && !errors.Is(err, ErrEmpty) {
+			return filled, err
+		}
+		if filled == len(out) {
+			return filled, nil
+		}
+	}
+	if filled == 0 {
+		return 0, ErrEmpty
+	}
+	return filled, nil
+}
+
+// HostMux aggregates per-queue backends into one MultiHost. Pop drains
+// queues fairly; Push steers inbound frames with the same FlowHash the
+// guest uses (the host model computes it over frame bytes it received
+// from the wire — it is a performance choice by an honest device, never
+// a queue id the guest consumes on trust: guest-side RX demux stays
+// positional).
+type HostMux struct {
+	queues []BatchHost
+	cursor atomic.Uint32
+}
+
+// NewHostMux builds a MultiHost over per-queue backends (at least one).
+func NewHostMux(queues []BatchHost) *HostMux {
+	if len(queues) == 0 {
+		panic("nic: HostMux needs at least one queue")
+	}
+	return &HostMux{queues: queues}
+}
+
+// NumQueues implements MultiHost.
+func (m *HostMux) NumQueues() int { return len(m.queues) }
+
+// QueueHost implements MultiHost.
+func (m *HostMux) QueueHost(i int) BatchHost { return m.queues[i] }
+
+// FrameCap implements nic.Host.
+func (m *HostMux) FrameCap() int { return m.queues[0].FrameCap() }
+
+// Pop implements nic.Host: one non-blocking try per queue from a
+// rotating cursor.
+func (m *HostMux) Pop(buf []byte) (int, error) {
+	start := int(m.cursor.Add(1))
+	for i := range m.queues {
+		q := m.queues[(start+i)%len(m.queues)]
+		n, err := q.Pop(buf)
+		if err == nil {
+			return n, nil
+		}
+		if !errors.Is(err, ErrEmpty) {
+			return 0, err
+		}
+	}
+	return 0, ErrEmpty
+}
+
+// PopBatch implements nic.BatchHost across all queues.
+func (m *HostMux) PopBatch(bufs [][]byte, lens []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	start := int(m.cursor.Add(1))
+	filled := 0
+	for i := range m.queues {
+		q := m.queues[(start+i)%len(m.queues)]
+		n, err := q.PopBatch(bufs[filled:], lens[filled:])
+		filled += n
+		if err != nil && !errors.Is(err, ErrEmpty) {
+			return filled, err
+		}
+		if filled == len(bufs) {
+			return filled, nil
+		}
+	}
+	if filled == 0 {
+		return 0, ErrEmpty
+	}
+	return filled, nil
+}
+
+// Push implements nic.Host: the frame steers to its flow's queue.
+func (m *HostMux) Push(frame []byte) error {
+	return m.queues[QueueFor(frame, len(m.queues))].Push(frame)
+}
+
+// PushBatch implements nic.BatchHost. Unlike the guest's transmit path,
+// an inbound burst genuinely mixes flows, so frames are pushed one at a
+// time through per-flow steering; ErrFull on a queue ends the burst
+// short (a drop, which is the device's prerogative).
+func (m *HostMux) PushBatch(frames [][]byte) (int, error) {
+	n := 0
+	for _, f := range frames {
+		if err := m.Push(f); err != nil {
+			if n == 0 {
+				return 0, err
+			}
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}
+
+// MultiPump shuttles frames between an N-queue device backend and a
+// simnet port: one transmit goroutine per queue (each drains only its
+// own ring, so queues progress independently) plus one receive
+// dispatcher that steers inbound frames to queues by FlowHash, exactly
+// as an RSS-capable NIC would spread flows across device threads.
+type MultiPump struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	txFrames atomic.Uint64
+	rxFrames atomic.Uint64
+	perTx    []atomic.Uint64
+	perRx    []atomic.Uint64
+}
+
+// StartMultiPump begins pumping every queue of hosts against port. The
+// per-queue backends must belong to one device (so fate is shared via
+// the transport's latch); hosts must be non-empty.
+func StartMultiPump(hosts []BatchHost, port *simnet.Port) *MultiPump {
+	if len(hosts) == 0 {
+		panic("nic: StartMultiPump needs at least one queue")
+	}
+	p := &MultiPump{
+		stop:  make(chan struct{}),
+		perTx: make([]atomic.Uint64, len(hosts)),
+		perRx: make([]atomic.Uint64, len(hosts)),
+	}
+	for i, h := range hosts {
+		p.wg.Add(1)
+		go p.runTX(i, h, port)
+	}
+	p.wg.Add(1)
+	go p.runRX(hosts, port)
+	return p
+}
+
+// runTX drains one queue's transmit ring onto the wire.
+func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
+	defer p.wg.Done()
+	bufs := make([][]byte, pumpBurst)
+	for i := range bufs {
+		bufs[i] = make([]byte, h.FrameCap())
+	}
+	lens := make([]int, pumpBurst)
+	idle := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		n, err := h.PopBatch(bufs, lens)
+		if err != nil && !errors.Is(err, ErrEmpty) {
+			return // queue (or whole device) is dead; nothing to pump
+		}
+		if n == 0 {
+			idle++
+			if idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		sent := uint64(0)
+		for i := 0; i < n; i++ {
+			if serr := port.Send(bufs[i][:lens[i]]); serr == nil {
+				sent++
+			}
+		}
+		p.txFrames.Add(sent)
+		p.perTx[q].Add(sent)
+	}
+}
+
+// runRX receives from the wire and dispatches each frame to its flow's
+// queue. One dispatcher goroutine owns the per-queue scratch, so the
+// steering stage itself is allocation- and lock-free in steady state.
+func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
+	defer p.wg.Done()
+	byQueue := make([][][]byte, len(hosts))
+	for i := range byQueue {
+		byQueue[i] = make([][]byte, 0, pumpBurst)
+	}
+	idle := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		got := 0
+		for q := range byQueue {
+			byQueue[q] = byQueue[q][:0]
+		}
+		for got < pumpBurst {
+			f, ok := port.Recv()
+			if !ok {
+				break
+			}
+			q := QueueFor(f, len(hosts))
+			byQueue[q] = append(byQueue[q], f)
+			got++
+		}
+		if got == 0 {
+			idle++
+			if idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		for q, frames := range byQueue {
+			if len(frames) == 0 {
+				continue
+			}
+			n := p.deliverQueue(hosts[q], frames)
+			p.rxFrames.Add(uint64(n))
+			p.perRx[q].Add(uint64(n))
+		}
+	}
+}
+
+// deliverQueue pushes one queue's share of an inbound burst, retrying
+// briefly on transient backpressure then dropping the remainder.
+func (p *MultiPump) deliverQueue(h BatchHost, frames [][]byte) int {
+	sent := 0
+	for attempt := 0; attempt < 100 && sent < len(frames); attempt++ {
+		n, err := h.PushBatch(frames[sent:])
+		sent += n
+		if err == nil || n > 0 {
+			continue
+		}
+		if !errors.Is(err, ErrFull) {
+			break
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return sent
+}
+
+// Counts returns total frames pumped across all queues.
+func (p *MultiPump) Counts() (tx, rx uint64) {
+	return p.txFrames.Load(), p.rxFrames.Load()
+}
+
+// QueueCounts returns per-queue pumped-frame counts, index-aligned with
+// the device's queues.
+func (p *MultiPump) QueueCounts() (tx, rx []uint64) {
+	tx = make([]uint64, len(p.perTx))
+	rx = make([]uint64, len(p.perRx))
+	for i := range p.perTx {
+		tx[i] = p.perTx[i].Load()
+		rx[i] = p.perRx[i].Load()
+	}
+	return tx, rx
+}
+
+// Stop halts every pump goroutine and waits. Idempotent.
+func (p *MultiPump) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}

@@ -110,10 +110,12 @@ func (f *BufFrame) Release() {
 type Pump struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
-	// TxFrames / RxFrames count frames moved in each direction.
-	mu       sync.Mutex
-	txFrames uint64
-	rxFrames uint64
+	// txFrames / rxFrames count frames moved in each direction. They are
+	// atomics, not mutex-guarded fields: accounting sits on the per-burst
+	// hot path and must not add a lock acquisition (or a cacheline
+	// handoff with readers) to every burst.
+	txFrames atomic.Uint64
+	rxFrames atomic.Uint64
 }
 
 // StartPump begins shuttling between h and port until Stop.
@@ -160,16 +162,12 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 						sent++
 					}
 				}
-				p.mu.Lock()
-				p.txFrames += sent
-				p.mu.Unlock()
+				p.txFrames.Add(sent)
 				worked = true
 			}
 		} else if n, err := h.Pop(buf); err == nil {
 			if serr := port.Send(buf[:n]); serr == nil {
-				p.mu.Lock()
-				p.txFrames++
-				p.mu.Unlock()
+				p.txFrames.Add(1)
 			}
 			worked = true
 		}
@@ -228,17 +226,13 @@ func (p *Pump) deliver(h Host, bh BatchHost, frames [][]byte) {
 		time.Sleep(10 * time.Microsecond)
 	}
 	if sent > 0 {
-		p.mu.Lock()
-		p.rxFrames += uint64(sent)
-		p.mu.Unlock()
+		p.rxFrames.Add(uint64(sent))
 	}
 }
 
 // Counts returns frames pumped (tx = guest->net, rx = net->guest).
 func (p *Pump) Counts() (tx, rx uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.txFrames, p.rxFrames
+	return p.txFrames.Load(), p.rxFrames.Load()
 }
 
 // Stop halts the pump and waits for its goroutine. Idempotent.

@@ -1,0 +1,84 @@
+package nic
+
+// Flow steering: the guest-computed receive-side-scaling hash that pins
+// every flow to one queue of a multi-queue device.
+//
+// Two properties carry the trust argument. First, the hash is computed
+// from frame bytes that are already in private custody (the guest hashes
+// its own outbound frames before they touch shared memory; the host
+// model hashes frames it received from the wire) — neither side ever
+// consumes a queue id chosen by the other, so a malicious host cannot
+// steer a flow onto a queue of its choosing to exploit queue-local state.
+// Second, the hash is a pure function of the canonical 5-tuple, so every
+// frame of a flow lands on the same queue and per-flow frame order is
+// preserved even though the queues themselves drain independently.
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// etherTypeIPv4 mirrors ether.TypeIPv4 without importing the stack layer
+// into the transport-neutral NIC contract.
+const etherTypeIPv4 = 0x0800
+
+// FlowHash returns the steering hash of one Ethernet frame: an FNV-1a
+// over the IPv4 5-tuple (src addr, dst addr, proto, src port, dst port)
+// for unfragmented TCP/UDP, over the 3-tuple (src, dst, proto) for every
+// other IPv4 packet — including *all* fragments, first or later, so a
+// fragmented datagram's pieces never split across queues — and over the
+// Ethernet addresses + EtherType for non-IPv4 frames (ARP and friends).
+// It is deterministic across processes and runs: steering is part of the
+// deployment-fixed contract, not a negotiated feature.
+func FlowHash(frame []byte) uint32 {
+	const (
+		ethHdr = 14
+		ipMin  = 20
+	)
+	if len(frame) < ethHdr {
+		return hashBytes(fnvOffset32, frame)
+	}
+	etherType := uint16(frame[12])<<8 | uint16(frame[13])
+	if etherType != etherTypeIPv4 || len(frame) < ethHdr+ipMin || frame[ethHdr]>>4 != 4 {
+		// Non-IP traffic steers by link-layer identity: stable per
+		// "flow" (address pair), which is all ARP needs.
+		h := hashBytes(fnvOffset32, frame[0:12]) // dst+src MAC
+		return hashBytes(h, frame[12:14])
+	}
+	ip := frame[ethHdr:]
+	ihl := int(ip[0]&0xF) * 4
+	h := hashBytes(fnvOffset32, ip[12:20]) // src+dst address
+	h = hashBytes(h, ip[9:10])             // protocol
+
+	// Fragmented datagrams (MF set or a nonzero offset) carry transport
+	// ports only in the first fragment; hashing any fragment on ports
+	// would tear the datagram across queues, so every fragment — first
+	// included — steers on the 3-tuple alone.
+	fragmented := ip[6]&0x20 != 0 || uint16(ip[6]&0x1F)<<8|uint16(ip[7]) != 0
+	const protoTCP, protoUDP = 6, 17
+	proto := ip[9]
+	if !fragmented && (proto == protoTCP || proto == protoUDP) &&
+		ihl >= ipMin && len(ip) >= ihl+4 {
+		h = hashBytes(h, ip[ihl:ihl+4]) // src+dst port
+	}
+	return h
+}
+
+// hashBytes folds data into an FNV-1a running state.
+func hashBytes(h uint32, data []byte) uint32 {
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// QueueFor maps a frame onto one of n queues. The result is always in
+// [0, n) for any frame bytes and any n >= 1 — out-of-range queue indices
+// are unrepresentable, mirroring the ring's masked-index rule.
+func QueueFor(frame []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(FlowHash(frame) % uint32(n))
+}

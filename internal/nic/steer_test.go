@@ -1,0 +1,140 @@
+package nic
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// mkFrame builds an Ethernet+IPv4 frame with the given 5-tuple. proto is
+// the IP protocol; ports are appended as the first 4 transport bytes.
+func mkFrame(src, dst uint32, proto byte, sport, dport uint16, frag bool) []byte {
+	f := make([]byte, 14+20+8)
+	f[12], f[13] = 0x08, 0x00 // IPv4
+	ip := f[14:]
+	ip[0] = 0x45 // v4, ihl=5
+	if frag {
+		ip[6] = 0x20 // MF set
+	}
+	ip[9] = proto
+	binary.BigEndian.PutUint32(ip[12:16], src)
+	binary.BigEndian.PutUint32(ip[16:20], dst)
+	binary.BigEndian.PutUint16(ip[20:22], sport)
+	binary.BigEndian.PutUint16(ip[22:24], dport)
+	return f
+}
+
+// TestSteerDeterministic: the same 5-tuple always lands on the same
+// queue — per-flow ordering depends on it.
+func TestSteerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		src, dst := rng.Uint32(), rng.Uint32()
+		sport, dport := uint16(rng.Uint32()), uint16(rng.Uint32())
+		a := mkFrame(src, dst, 6, sport, dport, false)
+		b := mkFrame(src, dst, 6, sport, dport, false)
+		// The payload beyond the tuple must not influence steering.
+		b = append(b, byte(i), byte(i>>8))
+		if FlowHash(a) != FlowHash(b) {
+			t.Fatalf("same 5-tuple hashed differently: %08x vs %08x", FlowHash(a), FlowHash(b))
+		}
+		for _, n := range []int{1, 2, 3, 4, 8, 64} {
+			if QueueFor(a, n) != QueueFor(b, n) {
+				t.Fatalf("same flow split across queues at n=%d", n)
+			}
+		}
+	}
+}
+
+// TestSteerTupleSensitivity: distinct tuples should (almost always) hash
+// differently — a constant hash would be "deterministic" too.
+func TestSteerTupleSensitivity(t *testing.T) {
+	base := mkFrame(0x0a000001, 0x0a000002, 6, 1234, 80, false)
+	h := FlowHash(base)
+	same := 0
+	for _, other := range [][]byte{
+		mkFrame(0x0a000003, 0x0a000002, 6, 1234, 80, false),  // src
+		mkFrame(0x0a000001, 0x0a000004, 6, 1234, 80, false),  // dst
+		mkFrame(0x0a000001, 0x0a000002, 17, 1234, 80, false), // proto
+		mkFrame(0x0a000001, 0x0a000002, 6, 1235, 80, false),  // sport
+		mkFrame(0x0a000001, 0x0a000002, 6, 1234, 81, false),  // dport
+	} {
+		if FlowHash(other) == h {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d/5 single-field tuple changes left the hash unchanged", same)
+	}
+}
+
+// TestSteerFragmentsStayTogether: any fragment of a datagram must steer
+// with the first fragment, which means ports can never contribute when a
+// packet is fragmented.
+func TestSteerFragmentsStayTogether(t *testing.T) {
+	first := mkFrame(0x0a000001, 0x0a000002, 17, 5000, 53, true)
+	later := mkFrame(0x0a000001, 0x0a000002, 17, 0xdead, 0xbeef, true)
+	later[14+6] = 0    // clear MF
+	later[14+7] = 0x40 // nonzero fragment offset
+	if FlowHash(first) != FlowHash(later) {
+		t.Fatalf("fragments of one datagram steered apart: %08x vs %08x",
+			FlowHash(first), FlowHash(later))
+	}
+}
+
+// TestSteerRange: QueueFor never leaves [0, n), for any frame bytes
+// (including garbage, truncated, and non-IP frames) and any n.
+func TestSteerRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		f := make([]byte, rng.Intn(80))
+		rng.Read(f)
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 64} {
+			q := QueueFor(f, n)
+			if q < 0 || q >= n {
+				t.Fatalf("QueueFor out of range: %d with n=%d", q, n)
+			}
+		}
+	}
+}
+
+// TestSteerDistribution: random flows should spread roughly uniformly.
+// With 4096 flows over 4 queues, expect ~1024 each; demand every queue
+// land within ±35% — loose enough to never flake, tight enough to catch
+// a broken hash that collapses onto few queues.
+func TestSteerDistribution(t *testing.T) {
+	const flows, queues = 4096, 4
+	rng := rand.New(rand.NewSource(42))
+	var counts [queues]int
+	for i := 0; i < flows; i++ {
+		f := mkFrame(rng.Uint32(), rng.Uint32(), 6, uint16(rng.Uint32()), uint16(rng.Uint32()), false)
+		counts[QueueFor(f, queues)]++
+	}
+	want := flows / queues
+	for q, c := range counts {
+		if c < want*65/100 || c > want*135/100 {
+			t.Fatalf("queue %d got %d of %d flows (want ~%d): %v", q, c, flows, want, counts)
+		}
+	}
+}
+
+// FuzzFlowHash: for arbitrary bytes the hash is stable and the queue
+// index representable — the properties the multi-queue trust argument
+// needs from steering, with no assumption the input is a valid frame.
+func FuzzFlowHash(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0x00})
+	f.Add(mkFrame(0x0a000001, 0x0a000002, 6, 1234, 80, false))
+	f.Add(mkFrame(0x0a000001, 0x0a000002, 17, 1, 2, true))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		h1, h2 := FlowHash(frame), FlowHash(frame)
+		if h1 != h2 {
+			t.Fatalf("hash not deterministic: %08x vs %08x", h1, h2)
+		}
+		for _, n := range []int{1, 2, 4, 64} {
+			if q := QueueFor(frame, n); q < 0 || q >= n {
+				t.Fatalf("queue %d out of [0,%d)", q, n)
+			}
+		}
+	})
+}

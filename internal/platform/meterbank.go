@@ -1,0 +1,69 @@
+package platform
+
+import "fmt"
+
+// MeterBank is a fixed set of per-queue Meters plus an aggregated device
+// view. Multi-queue transports charge each queue's boundary events to its
+// own meter so per-queue hot spots stay visible, while experiments that
+// only care about the device total read the aggregated snapshot.
+//
+// A nil *MeterBank is valid everywhere, mirroring the nil *Meter
+// convention: Queue returns nil and Snapshot returns zero Costs.
+type MeterBank struct {
+	meters []*Meter
+}
+
+// NewMeterBank allocates n independent meters.
+func NewMeterBank(n int) *MeterBank {
+	b := &MeterBank{meters: make([]*Meter, n)}
+	for i := range b.meters {
+		b.meters[i] = &Meter{}
+	}
+	return b
+}
+
+// Len returns the number of queues metered.
+func (b *MeterBank) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.meters)
+}
+
+// Queue returns queue i's meter, or nil when the bank is nil.
+func (b *MeterBank) Queue(i int) *Meter {
+	if b == nil {
+		return nil
+	}
+	return b.meters[i]
+}
+
+// Snapshot returns the aggregated device costs: the sum of every queue's
+// counters at one point in time.
+func (b *MeterBank) Snapshot() Costs {
+	var total Costs
+	if b == nil {
+		return total
+	}
+	for _, m := range b.meters {
+		total = total.Add(m.Snapshot())
+	}
+	return total
+}
+
+// QueueSnapshots returns one snapshot per queue, index-aligned with the
+// bank's queues.
+func (b *MeterBank) QueueSnapshots() []Costs {
+	if b == nil {
+		return nil
+	}
+	out := make([]Costs, len(b.meters))
+	for i, m := range b.meters {
+		out[i] = m.Snapshot()
+	}
+	return out
+}
+
+func (b *MeterBank) String() string {
+	return fmt.Sprintf("meterbank(%d queues): %s", b.Len(), b.Snapshot())
+}

@@ -2,6 +2,7 @@ package safering
 
 import (
 	"errors"
+	"sync"
 
 	"confio/internal/nic"
 )
@@ -9,6 +10,10 @@ import (
 // GuestNIC adapts an Endpoint to the transport-neutral nic.Guest contract.
 type GuestNIC struct {
 	EP *Endpoint
+	// rxScratch recycles the []*RxFrame staging slice RecvBatch needs to
+	// bridge the concrete batch API to []nic.Frame, keeping the adapter
+	// off the steady-state allocation path.
+	rxScratch sync.Pool
 }
 
 // NIC returns the endpoint's nic.Guest view.
@@ -61,11 +66,18 @@ func (g *GuestNIC) SendBatch(frames [][]byte) (int, error) {
 
 // RecvBatch implements nic.BatchGuest.
 func (g *GuestNIC) RecvBatch(out []nic.Frame) (int, error) {
-	rxs := make([]*RxFrame, len(out))
+	sp, _ := g.rxScratch.Get().(*[]*RxFrame)
+	if sp == nil || cap(*sp) < len(out) {
+		s := make([]*RxFrame, len(out))
+		sp = &s
+	}
+	rxs := (*sp)[:len(out)]
 	n, err := g.EP.RecvBatch(rxs)
 	for i := 0; i < n; i++ {
 		out[i] = rxs[i]
+		rxs[i] = nil // drop the reference before pooling the scratch
 	}
+	g.rxScratch.Put(sp)
 	switch {
 	case err == nil:
 		return n, nil
@@ -153,3 +165,33 @@ func (h *HostNIC) PushBatch(frames [][]byte) (int, error) {
 
 // FrameCap implements nic.Host.
 func (h *HostNIC) FrameCap() int { return h.HP.Shared().Cfg.FrameCap() }
+
+// NIC returns the multi-queue endpoint's nic.MultiGuest view: a mux over
+// per-queue GuestNIC adapters. Flow steering happens above this adapter
+// (in the mux or the network stack), always from guest-private bytes.
+func (m *MultiEndpoint) NIC() nic.MultiGuest {
+	qs := make([]nic.BatchGuest, m.Queues())
+	for i := range qs {
+		qs[i] = &GuestNIC{EP: m.Queue(i)}
+	}
+	return nic.NewGuestMux(qs)
+}
+
+// NIC returns the multi-queue host port's nic.MultiHost view.
+func (m *MultiHostPort) NIC() nic.MultiHost {
+	qs := make([]nic.BatchHost, m.Queues())
+	for i := range qs {
+		qs[i] = &HostNIC{HP: m.Queue(i)}
+	}
+	return nic.NewHostMux(qs)
+}
+
+// HostNICs returns one nic.BatchHost per queue, index-aligned — the form
+// nic.StartMultiPump consumes.
+func (m *MultiHostPort) HostNICs() []nic.BatchHost {
+	qs := make([]nic.BatchHost, m.Queues())
+	for i := range qs {
+		qs[i] = &HostNIC{HP: m.Queue(i)}
+	}
+	return qs
+}

@@ -31,6 +31,10 @@ const (
 type Endpoint struct {
 	sh    *Shared
 	meter *platform.Meter
+	// latch, when non-nil, is the device-wide fail-dead state of the
+	// multi-queue device this endpoint is one queue of: a violation on
+	// any sibling queue kills this one too (and vice versa).
+	latch *DeathLatch
 
 	mu   sync.Mutex
 	dead error
@@ -47,7 +51,11 @@ type Endpoint struct {
 	rxFreePub  uint64 // RXFree producer index last published to the host
 	slabHeld   []bool // true while the host holds the slab
 
-	pool sync.Pool
+	// pool recycles private receive buffers; framePool recycles RxFrame
+	// headers. Both store pointers so steady-state Get/Put never boxes a
+	// value into an interface (the allocation-free hot path).
+	pool      sync.Pool
+	framePool sync.Pool
 }
 
 // txStageFault, when non-nil, injects a failure into the shared-area TX
@@ -65,7 +73,11 @@ func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
 	}
 	e := &Endpoint{sh: sh, meter: meter}
 	e.txHandles = make([][]shmem.Handle, cfg.Slots)
-	e.pool.New = func() any { return make([]byte, cfg.FrameCap()) }
+	e.pool.New = func() any {
+		b := make([]byte, cfg.FrameCap())
+		return &b
+	}
+	e.framePool.New = func() any { return new(RxFrame) }
 
 	if cfg.Mode != Inline {
 		e.slabHeld = make([]bool, cfg.Slots)
@@ -91,19 +103,42 @@ func (e *Endpoint) Shared() *Shared {
 // Config returns the immutable device configuration.
 func (e *Endpoint) Config() DeviceConfig { return e.sh.Cfg }
 
-// Dead returns the fatal error that killed the endpoint, if any.
+// Dead returns the fatal error that killed the endpoint, if any. On a
+// multi-queue device a violation on any sibling queue counts: the whole
+// device fail-deads together.
 func (e *Endpoint) Dead() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.dead == nil && e.latch != nil {
+		e.dead = e.latch.Dead()
+	}
 	return e.dead
 }
 
 // fail records the first fatal violation; later calls keep the original.
+// On a multi-queue device the violation is propagated to the device-wide
+// latch so every sibling queue dies with this one.
 func (e *Endpoint) fail(err error) error {
 	if e.dead == nil {
 		e.dead = err
 	}
+	e.latch.Kill(e.dead)
 	return e.dead
+}
+
+// deadLocked reports whether the endpoint (or, through the device latch,
+// any sibling queue) has fail-deaded. Caller holds e.mu.
+func (e *Endpoint) deadLocked() bool {
+	if e.dead != nil {
+		return true
+	}
+	if e.latch != nil {
+		if err := e.latch.Dead(); err != nil {
+			e.dead = err
+			return true
+		}
+	}
+	return false
 }
 
 // checkFrame validates a frame size against the fixed geometry.
@@ -126,7 +161,7 @@ func (e *Endpoint) Send(frame []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
+	if e.deadLocked() {
 		return ErrDead
 	}
 	cons, err := e.reapLocked()
@@ -162,7 +197,7 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
+	if e.deadLocked() {
 		return 0, ErrDead
 	}
 	cons, err := e.reapLocked()
@@ -219,7 +254,10 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 			return fmt.Errorf("safering: tx stage: %w", werr)
 		}
 		e.meter.Copy(len(frame))
-		e.txHandles[e.txHead&(e.sh.TX.NSlots()-1)] = []shmem.Handle{h}
+		// Reuse the slot's handle slice (reapLocked keeps the capacity):
+		// after warm-up the steady-state send path allocates nothing.
+		idx := e.txHead & (e.sh.TX.NSlots() - 1)
+		e.txHandles[idx] = append(e.txHandles[idx][:0], h)
 		d = Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(h)}
 	case Indirect:
 		var derr error
@@ -251,13 +289,16 @@ func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
 	if nseg > e.sh.Cfg.Segments {
 		return Desc{}, fmt.Errorf("%w: needs %d segments > %d", ErrFrameSize, nseg, e.sh.Cfg.Segments)
 	}
-	handles := make([]shmem.Handle, 0, nseg)
+	idx := e.txHead & (e.sh.TX.NSlots() - 1)
+	// Reuse the slot's handle slice across ring wraps (reapLocked keeps
+	// the capacity) so steady-state indirect staging allocates nothing.
+	handles := e.txHandles[idx][:0]
 	free := func() {
 		for _, h := range handles {
 			_ = e.sh.TXData.HandleFree(shmem.FreeMsg{H: h})
 		}
+		e.txHandles[idx] = handles[:0]
 	}
-	idx := e.txHead & (e.sh.TX.NSlots() - 1)
 	entry := idx * uint64(indEntrySize(e.sh.Cfg.Segments))
 	for j := 0; j < nseg; j++ {
 		h, err := e.sh.TXData.Alloc()
@@ -300,7 +341,9 @@ func (e *Endpoint) reapLocked() (uint64, error) {
 				return 0, e.fail(fmt.Errorf("%w: tx slab free: %v", ErrProtocol, err))
 			}
 		}
-		e.txHandles[idx] = nil
+		// Keep the slice capacity: the next stage of this slot reuses it
+		// instead of allocating (the zero-allocation steady state).
+		e.txHandles[idx] = e.txHandles[idx][:0]
 	}
 	return cons, nil
 }
@@ -310,7 +353,7 @@ func (e *Endpoint) reapLocked() (uint64, error) {
 func (e *Endpoint) Reap() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
+	if e.deadLocked() {
 		return ErrDead
 	}
 	_, err := e.reapLocked()
@@ -320,12 +363,18 @@ func (e *Endpoint) Reap() error {
 // RxFrame is one received Ethernet frame. Bytes stays valid until
 // Release. Depending on policy the bytes are a private copy (CopyOut) or
 // a revoked — host-inaccessible — shared page used in place (Revoke).
+//
+// Frame headers are recycled through the endpoint's pool: after Release
+// the frame may be reused by a later Recv, so callers must not retain or
+// re-release the pointer past their first Release (the usual buffer-pool
+// ownership contract; concurrent duplicate Releases of a still-live
+// frame remain safe via the CAS guard).
 type RxFrame struct {
 	ep       *Endpoint
 	sh       *Shared // device instance the frame came from (hot-swap safety)
 	data     []byte
-	pooled   []byte // backing array to return to the pool, if any
-	slab     int    // revoked slab to re-share on release, or -1
+	pooled   *[]byte // backing buffer to return to the pool, if any
+	slab     int     // revoked slab to re-share on release, or -1
 	released atomic.Bool
 }
 
@@ -333,28 +382,49 @@ type RxFrame struct {
 func (f *RxFrame) Bytes() []byte { return f.data }
 
 // Release returns the frame's backing storage (pool buffer or revoked
-// page) for reuse. It is idempotent and safe to call from concurrent
-// goroutines: exactly one caller performs the release.
+// page) and its header for reuse. It is idempotent while the frame is
+// live and safe to call from concurrent goroutines: exactly one caller
+// performs the release.
 func (f *RxFrame) Release() {
 	if !f.released.CompareAndSwap(false, true) {
 		return
 	}
+	ep := f.ep
 	if f.pooled != nil {
-		f.ep.pool.Put(f.pooled[:cap(f.pooled)])
+		*f.pooled = (*f.pooled)[:cap(*f.pooled)]
+		ep.pool.Put(f.pooled)
 		f.pooled = nil
 	}
 	if f.slab >= 0 {
-		f.ep.mu.Lock()
+		ep.mu.Lock()
 		// After a hot-swap the old device instance is gone and the new
 		// one already has every slab posted; only release into the
 		// instance the frame came from.
-		if f.ep.sh == f.sh {
-			f.ep.sh.RXData.Reshare(uint64(f.slab)*platform.PageSize, platform.PageSize)
-			f.ep.postSlab(f.slab)
+		if ep.sh == f.sh {
+			ep.sh.RXData.Reshare(uint64(f.slab)*platform.PageSize, platform.PageSize)
+			ep.postSlab(f.slab)
 		}
-		f.ep.mu.Unlock()
+		ep.mu.Unlock()
 	}
 	f.data = nil
+	f.sh = nil
+	// Recycle the header last: after the Put the frame may be handed out
+	// again by a concurrent Recv, so nothing touches f beyond this line.
+	ep.framePool.Put(f)
+}
+
+// newFrameLocked hands out a recycled (or fresh) RxFrame header with the
+// given contents. The released flag is re-armed here, before the frame
+// becomes visible to the caller.
+func (e *Endpoint) newFrameLocked(data []byte, pooled *[]byte, slab int) *RxFrame {
+	f := e.framePool.Get().(*RxFrame)
+	f.ep = e
+	f.sh = e.sh
+	f.data = data
+	f.pooled = pooled
+	f.slab = slab
+	f.released.Store(false)
+	return f
 }
 
 // stageSlabLocked records one empty receive slab in the free ring without
@@ -418,11 +488,12 @@ func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 		if int(d.Len) > e.sh.RXUsed.InlineCap() || int(d.Len) > e.sh.Cfg.FrameCap() || d.Len == 0 {
 			return nil, e.fail(fmt.Errorf("%w: rx inline length %d", ErrProtocol, d.Len))
 		}
-		buf := e.pool.Get().([]byte)
+		bp := e.pool.Get().(*[]byte)
+		buf := *bp
 		e.sh.RXUsed.ReadInline(e.rxTail, buf[:d.Len])
 		e.meter.Copy(int(d.Len))
 		e.rxTail++
-		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
+		return e.newFrameLocked(buf[:d.Len], bp, -1), nil
 
 	default:
 		// FrameCap <= PageSize is enforced at construction (Validate), so
@@ -449,15 +520,16 @@ func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 			data := e.sh.RXData.Region().Slice(off, int(d.Len))
 			e.rxTail++
 			//ciovet:allow sharedescape slab revoked above: the host can no longer write these pages, so handing out the in-place view is single-fetch-safe until Release reshares
-			return &RxFrame{ep: e, sh: e.sh, data: data, slab: slab}, nil
+			return e.newFrameLocked(data, nil, slab), nil
 		}
 
-		buf := e.pool.Get().([]byte)
+		bp := e.pool.Get().(*[]byte)
+		buf := *bp
 		e.sh.RXData.Region().ReadAt(buf[:d.Len], off)
 		e.meter.Copy(int(d.Len))
 		e.stageSlabLocked(slab)
 		e.rxTail++
-		return &RxFrame{ep: e, sh: e.sh, data: buf[:d.Len], pooled: buf, slab: -1}, nil
+		return e.newFrameLocked(buf[:d.Len], bp, -1), nil
 	}
 }
 
@@ -468,7 +540,7 @@ func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 func (e *Endpoint) Recv() (*RxFrame, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
+	if e.deadLocked() {
 		return nil, ErrDead
 	}
 	avail, err := e.rxAvailLocked()
@@ -499,7 +571,7 @@ func (e *Endpoint) RecvBatch(out []*RxFrame) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
+	if e.deadLocked() {
 		return 0, ErrDead
 	}
 	avail, err := e.rxAvailLocked()

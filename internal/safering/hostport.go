@@ -20,6 +20,10 @@ import (
 // host killing the VM).
 type HostPort struct {
 	sh *Shared
+	// latch, when non-nil, is the device-wide poison state of the
+	// multi-queue device model this port is one queue of: a guest
+	// violation on any sibling queue poisons this one too.
+	latch *DeathLatch
 
 	mu   sync.Mutex
 	dead error
@@ -36,10 +40,14 @@ func NewHostPort(sh *Shared) *HostPort { return &HostPort{sh: sh} }
 // Shared returns the device state this port drives.
 func (h *HostPort) Shared() *Shared { return h.sh }
 
-// Dead returns the violation that poisoned the port, if any.
+// Dead returns the violation that poisoned the port, if any. On a
+// multi-queue device model a violation on any sibling queue counts.
 func (h *HostPort) Dead() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.dead == nil && h.latch != nil {
+		h.dead = h.latch.Dead()
+	}
 	return h.dead
 }
 
@@ -47,7 +55,23 @@ func (h *HostPort) fail(err error) error {
 	if h.dead == nil {
 		h.dead = err
 	}
+	h.latch.Kill(h.dead)
 	return h.dead
+}
+
+// deadLocked reports whether the port (or, through the device latch, any
+// sibling queue's port) has been poisoned. Caller holds h.mu.
+func (h *HostPort) deadLocked() bool {
+	if h.dead != nil {
+		return true
+	}
+	if h.latch != nil {
+		if err := h.latch.Dead(); err != nil {
+			h.dead = err
+			return true
+		}
+	}
+	return false
 }
 
 // Pop dequeues the next guest transmit frame into buf and returns its
@@ -55,7 +79,7 @@ func (h *HostPort) fail(err error) error {
 func (h *HostPort) Pop(buf []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.dead != nil {
+	if h.deadLocked() {
 		return 0, ErrDead
 	}
 	prod := h.sh.TX.Indexes().LoadProd()
@@ -91,7 +115,7 @@ func (h *HostPort) PopBatch(bufs [][]byte, lens []int) (int, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.dead != nil {
+	if h.deadLocked() {
 		return 0, ErrDead
 	}
 	prod := h.sh.TX.Indexes().LoadProd()
@@ -180,7 +204,7 @@ func (h *HostPort) Push(frame []byte) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.dead != nil {
+	if h.deadLocked() {
 		return ErrDead
 	}
 
@@ -216,7 +240,7 @@ func (h *HostPort) PushBatch(frames [][]byte) (int, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.dead != nil {
+	if h.deadLocked() {
 		return 0, ErrDead
 	}
 	cons := h.sh.RXUsed.Indexes().LoadCons()

@@ -1,0 +1,9 @@
+//go:build !race
+
+package safering
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-count assertions are skipped under -race: the detector
+// instruments synchronization and allocates shadow state on the very
+// paths the tests assert are allocation-free.
+const raceEnabled = false

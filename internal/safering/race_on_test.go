@@ -1,0 +1,5 @@
+//go:build race
+
+package safering
+
+const raceEnabled = true

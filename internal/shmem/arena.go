@@ -31,6 +31,7 @@ type Arena struct {
 	free  []int
 	gen   []uint32 // current generation per slab
 	inUse []bool
+	scrub []byte // always-zero scratch for scrubbing freed slabs (under mu)
 }
 
 // Handle names an arena slab across the trust boundary. It packs
@@ -70,6 +71,7 @@ func NewArena(slabSize, slabs int) (*Arena, error) {
 		idxMask:  uint64(slabs - 1),
 		gen:      make([]uint32, slabs),
 		inUse:    make([]bool, slabs),
+		scrub:    make([]byte, slabSize),
 	}
 	a.free = make([]int, slabs)
 	for i := range a.free {
@@ -182,8 +184,7 @@ func (a *Arena) HandleFree(m FreeMsg) error {
 	}
 	a.inUse[idx] = false
 	a.gen[idx]++
-	zero := make([]byte, a.slabSize)
-	a.region.WriteAt(zero, uint64(idx*a.slabSize))
+	a.region.WriteAt(a.scrub, uint64(idx*a.slabSize))
 	a.free = append(a.free, idx)
 	return nil
 }
