@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages exercised under the race detector: the ones with real
 # cross-goroutine shared state (rings, slab pools, the core datapath).
-RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core
+RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos
 
-.PHONY: all build test race vet ciovet fuzz fmt bench bench-mq check
+.PHONY: all build test race vet ciovet fuzz fmt bench bench-mq chaos check
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 # ciovet runs the confio-specific analyzers (doublefetch, maskidx,
-# fatalviolation, sharedescape); see DESIGN.md "Static analysis".
+# fatalviolation, sharedescape, latchclear); see DESIGN.md "Static analysis".
 ciovet:
 	$(GO) run ./cmd/ciovet ./...
 
@@ -42,6 +42,12 @@ bench:
 # of merit (see EXPERIMENTS.md) — wall MB/s only scales with spare cores.
 bench-mq:
 	$(GO) test -run '^$$' -bench 'BenchmarkMQ_' -benchmem -json . | tee BENCH_mq.json
+
+# Chaos-host fault injection: scripted fault scenarios plus seeded-random
+# storms, each asserting the recovery invariant (clean new epoch or
+# permanent fail-dead, never live-but-corrupt); see EXPERIMENTS.md.
+chaos:
+	$(GO) test -count=1 -v ./internal/chaos
 
 # The full verification gate, in increasing order of cost.
 check: fmt vet build ciovet test race

@@ -1,10 +1,12 @@
 // Command cioattack runs the interface-vulnerability suite against every
 // transport and prints the resilience matrix (the §3.2 safety claims,
-// verified by execution).
+// verified by execution), followed by the recovery-liveness report: the
+// chaos-host scenarios showing every induced fault ends in a clean new
+// epoch or a permanent fail-dead — never a live-but-corrupt device.
 //
 // Usage:
 //
-//	cioattack           # matrix
+//	cioattack           # matrix + recovery report
 //	cioattack -v        # every result with detail
 package main
 
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"confio/internal/attack"
+	"confio/internal/chaos"
 )
 
 func main() {
@@ -37,6 +40,23 @@ func main() {
 			tr, s[attack.Blocked], s[attack.Degraded], s[attack.Compromised], s[attack.NotApplicable])
 	}
 
+	// Recovery liveness: the chaos-host scenarios. Each run reports its
+	// outcome plus the meter counters (deaths, reincarnations, stalls).
+	fmt.Println("\nrecovery liveness (chaos-host scenarios):")
+	var deaths, reincs, stalls uint64
+	corrupt := false
+	for _, sc := range chaos.Scenarios() {
+		r := sc.Run()
+		fmt.Printf("  %s\n", r)
+		deaths += r.Deaths
+		reincs += r.Reincarnations
+		stalls += r.Stalls
+		if r.Outcome == chaos.Corrupt {
+			corrupt = true
+		}
+	}
+	fmt.Printf("  totals: deaths=%d reincarnations=%d stalls-detected=%d\n", deaths, reincs, stalls)
+
 	// Exit nonzero if the safe ring was ever compromised — CI guard for
 	// the paper's core claim.
 	for _, r := range results {
@@ -44,5 +64,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cioattack: SAFE RING COMPROMISED: %s\n", r)
 			os.Exit(1)
 		}
+	}
+	// Same guard for the recovery invariant: a live-but-corrupt device
+	// after a fault means fail-dead recovery is broken.
+	if corrupt {
+		fmt.Fprintln(os.Stderr, "cioattack: RECOVERY INVARIANT VIOLATED: live-but-corrupt outcome")
+		os.Exit(1)
 	}
 }

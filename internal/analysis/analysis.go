@@ -125,5 +125,6 @@ func Suite() []*Analyzer {
 		MaskIdxAnalyzer,
 		FatalViolationAnalyzer,
 		SharedEscapeAnalyzer,
+		LatchClearAnalyzer,
 	}
 }

@@ -26,10 +26,14 @@ func TestSharedEscape(t *testing.T) {
 	analysistest.Run(t, corpus(), analysis.SharedEscapeAnalyzer, "sharedescape")
 }
 
+func TestLatchClear(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.LatchClearAnalyzer, "latchclear")
+}
+
 // TestSuite pins the rule inventory: renaming or dropping an analyzer is a
 // deliberate act, not a refactoring accident.
 func TestSuite(t *testing.T) {
-	want := []string{"doublefetch", "maskidx", "fatalviolation", "sharedescape"}
+	want := []string{"doublefetch", "maskidx", "fatalviolation", "sharedescape", "latchclear"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

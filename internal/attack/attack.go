@@ -73,6 +73,8 @@ const (
 	AtkFeatureTOCTOU   = "feature-toctou"
 	AtkStaleMemory     = "stale-memory-leak"
 	AtkQueueCrossKill  = "queue-cross-kill"
+	AtkEpochReplay     = "epoch-replay"
+	AtkReattachStorm   = "reattach-storm"
 	AtkL5AfterL2Breach = "l5-after-l2-breach"
 )
 
@@ -80,7 +82,8 @@ const (
 var AttackNames = []string{
 	AtkIndexOverclaim, AtkIndexRewind, AtkLengthLie, AtkDoubleFetch,
 	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkFeatureTOCTOU,
-	AtkStaleMemory, AtkQueueCrossKill, AtkL5AfterL2Breach,
+	AtkStaleMemory, AtkQueueCrossKill, AtkEpochReplay, AtkReattachStorm,
+	AtkL5AfterL2Breach,
 }
 
 // TransportNames in matrix order.

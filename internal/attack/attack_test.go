@@ -97,6 +97,9 @@ func TestSuiteCoverage(t *testing.T) {
 			if atk == AtkQueueCrossKill && !strings.HasPrefix(tr, "safering") {
 				continue // needs sibling queues; baselines model single-queue devices
 			}
+			if (atk == AtkEpochReplay || atk == AtkReattachStorm) && !strings.HasPrefix(tr, "safering") {
+				continue // recovery is a safe-ring feature; baselines have no Reincarnate
+			}
 			if !have[[2]string{atk, tr}] {
 				t.Errorf("no scenario for %s × %s", atk, tr)
 			}

@@ -4,10 +4,54 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"confio/internal/platform"
 	"confio/internal/safering"
 )
+
+// mkRecovery builds a single- or multi-queue device for the recovery
+// attacks; the attacked queue is always queue 0, and m is nil for the
+// single-queue variants.
+func mkRecovery(cfg safering.DeviceConfig, queues int) (*safering.Endpoint, *safering.MultiEndpoint) {
+	if queues > 1 {
+		m, err := safering.NewMulti(cfg, queues, nil)
+		if err != nil {
+			panic(err)
+		}
+		return m.Queue(0), m
+	}
+	ep, err := safering.New(cfg, nil)
+	if err != nil {
+		panic(err)
+	}
+	return ep, nil
+}
+
+func hostPortFor(ep *safering.Endpoint, m *safering.MultiEndpoint) *safering.HostPort {
+	if m != nil {
+		return safering.NewMultiHostPort(m.SharedQueues()).Queue(0)
+	}
+	return safering.NewHostPort(ep.Shared())
+}
+
+// reincarnate revives through the sanctioned path — device-wide for
+// multi-queue (per-queue revival is refused by design).
+func reincarnate(ep *safering.Endpoint, m *safering.MultiEndpoint) error {
+	if m != nil {
+		_, err := m.Reincarnate()
+		return err
+	}
+	_, err := ep.Reincarnate()
+	return err
+}
+
+// stormClock is a hand-cranked clock for the reattach-storm scenario,
+// keeping the quarantine math deterministic.
+type stormClock struct{ t time.Time }
+
+func (c *stormClock) Now() time.Time          { return c.t }
+func (c *stormClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
 
 // saferingScenarios attacks the paper's safe ring, in both receive
 // policies. Expected (and asserted by the tests): everything Blocked or
@@ -216,6 +260,96 @@ func saferingScenarios() []Scenario {
 					}
 				}
 				return blocked(AtkQueueCrossKill, v.name, "violation on one queue fail-deads the whole device")
+			}},
+			Scenario{AtkEpochReplay, v.name, func() Result {
+				cfg := safering.DefaultConfig()
+				cfg.Mode = v.mode
+				cfg.RX = v.rx
+				cfg.SlotSize = 64
+				ep, m := mkRecovery(cfg, v.queues)
+				hp := hostPortFor(ep, m)
+				// Deliver one real frame and record its (epoch-0) descriptor.
+				if err := hp.Push(frame(64, 3)); err != nil {
+					return compromised(AtkEpochReplay, v.name, "setup: "+err.Error())
+				}
+				rx, err := ep.Recv()
+				if err != nil {
+					return compromised(AtkEpochReplay, v.name, "setup: "+err.Error())
+				}
+				recorded := ep.Shared().RXUsed.ReadDesc(0)
+				rx.Release()
+				// Kill the device; the guest reincarnates at the next epoch.
+				ep.Shared().RXUsed.Indexes().StoreProd(uint64(cfg.Slots) * 4)
+				if _, err := ep.Recv(); !errors.Is(err, safering.ErrProtocol) {
+					return compromised(AtkEpochReplay, v.name, "kill not detected")
+				}
+				if err := reincarnate(ep, m); err != nil {
+					return compromised(AtkEpochReplay, v.name, "reincarnate: "+err.Error())
+				}
+				// The host replays the pre-death descriptor into the reborn
+				// ring, hoping old completions still parse.
+				ep.Shared().RXUsed.WriteDesc(0, recorded)
+				ep.Shared().RXUsed.Indexes().StoreProd(1)
+				_, err = ep.Recv()
+				return verdictFromFatal(AtkEpochReplay, v.name, err, safering.ErrProtocol,
+					compromised(AtkEpochReplay, v.name, "stale-epoch descriptor accepted after rebirth"))
+			}},
+			Scenario{AtkReattachStorm, v.name, func() Result {
+				cfg := safering.DefaultConfig()
+				cfg.Mode = v.mode
+				cfg.RX = v.rx
+				cfg.SlotSize = 64
+				ep, m := mkRecovery(cfg, v.queues)
+				clk := &stormClock{t: time.Unix(1_700_000_000, 0)}
+				pol := safering.RecoveryPolicy{
+					BaseBackoff:  10 * time.Millisecond,
+					MaxBackoff:   time.Second,
+					JitterFrac:   0.2,
+					DeathBudget:  4,
+					BudgetWindow: time.Minute,
+					Clock:        clk.Now,
+					Seed:         42,
+				}
+				if m != nil {
+					m.SetRecoveryPolicy(pol)
+				} else {
+					ep.SetRecoveryPolicy(pol)
+				}
+				reinc := func() error { return reincarnate(ep, m) }
+				// The host kills the device over and over, hoping unlimited
+				// reattach cycles give it unlimited fresh windows to probe.
+				sawQuarantine := false
+				for round := 0; round < 32; round++ {
+					ep.Shared().RXUsed.Indexes().StoreProd(uint64(cfg.Slots) * 4)
+					if _, err := ep.Recv(); !errors.Is(err, safering.ErrProtocol) {
+						return compromised(AtkReattachStorm, v.name, "kill not detected")
+					}
+					err := reinc()
+					for errors.Is(err, safering.ErrQuarantine) {
+						sawQuarantine = true
+						clk.Advance(2 * time.Second)
+						err = reinc()
+					}
+					if errors.Is(err, safering.ErrBudgetExhausted) {
+						if !sawQuarantine {
+							return compromised(AtkReattachStorm, v.name, "no quarantine before budget exhaustion")
+						}
+						// Permanence: a patient host must not be able to wait
+						// the budget window out.
+						clk.Advance(10 * time.Minute)
+						if err := reinc(); !errors.Is(err, safering.ErrBudgetExhausted) {
+							return compromised(AtkReattachStorm, v.name, "patient host revived a budget-dead device")
+						}
+						if err := ep.Send(frame(64, 1)); !errors.Is(err, safering.ErrDead) {
+							return compromised(AtkReattachStorm, v.name, "budget-dead device accepted traffic")
+						}
+						return blocked(AtkReattachStorm, v.name, "storm quarantined, then permanent fail-dead (bounded resets)")
+					}
+					if err != nil {
+						return compromised(AtkReattachStorm, v.name, "reincarnate: "+err.Error())
+					}
+				}
+				return compromised(AtkReattachStorm, v.name, "storm never exhausted the death budget")
 			}},
 			Scenario{AtkStaleMemory, v.name, func() Result {
 				ep, hp := mk()

@@ -167,6 +167,9 @@ func (w *World) buildNode(ip ipv4.Addr, macLast byte) (*node, error) {
 			mhp := safering.NewMultiHostPort(mep.SharedQueues())
 			mpump := nic.StartMultiPump(mhp.HostNICs(), w.Net.NewPort())
 			w.closers = append(w.closers, mpump.Stop)
+			wd := safering.WatchDevice(safering.DefaultWatchdogConfig(), mep)
+			wd.Start()
+			w.closers = append(w.closers, wd.Stop)
 			n.transport = mep
 			break
 		}
@@ -175,6 +178,12 @@ func (w *World) buildNode(ip ipv4.Addr, macLast byte) (*node, error) {
 			return nil, err
 		}
 		guest, host = ep.NIC(), safering.NewHostPort(ep.Shared()).NIC()
+		// Liveness: a host that freezes the consumer index converts a
+		// safety guarantee into a hang without this — the watchdog turns
+		// the stall into a declared fail-dead (ErrStalled).
+		wd := safering.NewWatchdog(safering.DefaultWatchdogConfig(), ep)
+		wd.Start()
+		w.closers = append(w.closers, wd.Stop)
 		n.transport = ep
 
 	case L2Virtio, L2VirtioHardened:

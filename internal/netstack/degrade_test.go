@@ -1,0 +1,165 @@
+package netstack_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"confio/internal/ipv4"
+	"confio/internal/netstack"
+	"confio/internal/nic"
+	"confio/internal/safering"
+	"confio/internal/simnet"
+)
+
+// degradePair builds two safering-backed stacks and returns the client
+// endpoint and pump so the test can play the malicious (or frozen) host
+// against it.
+func degradePair(t *testing.T) (*netstack.Stack, *netstack.Stack, *safering.Endpoint, *nic.Pump) {
+	t.Helper()
+	net := simnet.New()
+	mk := func(last byte) (*safering.Endpoint, nic.Guest, nic.Host) {
+		cfg := safering.DefaultConfig()
+		cfg.MAC[5] = last
+		ep, err := safering.New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep, ep.NIC(), safering.NewHostPort(ep.Shared()).NIC()
+	}
+	epA, ga, ha := mk(0xA)
+	_, gb, hb := mk(0xB)
+	pa := nic.StartPump(ha, net.NewPort())
+	pb := nic.StartPump(hb, net.NewPort())
+	sa := netstack.New(ga, ipA)
+	sb := netstack.New(gb, ipB)
+	sa.Start()
+	sb.Start()
+	t.Cleanup(func() {
+		sa.Close()
+		sb.Close()
+		pa.Stop()
+		pb.Stop()
+	})
+	return sa, sb, epA, pa
+}
+
+// TestStackDegradesWhenTransportDies is graceful degradation end to end:
+// the host kills the client's transport mid-connection. The blocked TCP
+// reader must wake with an error (not hang), the stack must report the
+// terminal transport error, and later UDP sends must be counted drops.
+func TestStackDegradesWhenTransportDies(t *testing.T) {
+	sa, sb, epA, _ := degradePair(t)
+
+	l, err := sb.Listen(8080, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.AcceptTimeout(10 * time.Second)
+			if err != nil {
+				return
+			}
+			_ = c // hold the connection open; never write
+		}
+	}()
+	c, err := sa.Dial(ipB, 8080, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1024)
+		_, err := c.Read(buf) // blocks: the server never sends
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block
+
+	// The malicious host corrupts the receive producer index: the
+	// transport fail-deads on the stack's next receive poll.
+	epA.Shared().RXUsed.Indexes().StoreProd(uint64(epA.Config().Slots) * 4)
+
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("blocked read returned nil after transport death")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked TCP read hung after transport death: degradation failed")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sa.Degraded() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("stack never reported the terminal transport error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(sa.Degraded(), nic.ErrClosed) {
+		t.Fatalf("Degraded() = %v, want an ErrClosed-class error", sa.Degraded())
+	}
+
+	// New TCP work fails fast instead of hanging.
+	if _, err := sa.Dial(ipB, 8081, 2*time.Second); err == nil {
+		t.Fatal("dial through a degraded stack succeeded")
+	}
+
+	// UDP keeps datagram semantics: sends are silently dropped, but the
+	// drops are counted so operators can see the degradation.
+	u, err := sa.OpenUDP(9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	before := sa.Stats().DeadDrops
+	for i := 0; i < 4; i++ {
+		u.SendTo(ipB, 9002, []byte("after death"))
+	}
+	if got := sa.Stats().DeadDrops; got <= before {
+		t.Fatalf("DeadDrops %d after UDP sends on a degraded stack, want > %d", got, before)
+	}
+	if sa.Stats().SendDrops < sa.Stats().DeadDrops {
+		t.Fatalf("DeadDrops (%d) must be a subset of SendDrops (%d)",
+			sa.Stats().DeadDrops, sa.Stats().SendDrops)
+	}
+}
+
+// TestStackDegradeReportsStallDistinctly: when the transport dies by
+// watchdog (host stall), the stack-level error distinguishes the stall
+// while still matching the generic ErrClosed teardown class.
+func TestStackDegradeReportsStallDistinctly(t *testing.T) {
+	sa, _, epA, pumpA := degradePair(t)
+	wd := safering.NewWatchdog(safering.WatchdogConfig{
+		Interval: time.Millisecond, StallAfter: 10 * time.Millisecond,
+	}, epA)
+	wd.Start()
+	t.Cleanup(wd.Stop)
+
+	// The host freezes: its device model stops consuming the TX ring.
+	pumpA.Stop()
+
+	// Keep giving the stack transmit work (ARP requests toward an
+	// unresolvable peer) so the frozen consumer index holds a real
+	// obligation for the watchdog to age.
+	u, err := sa.OpenUDP(9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for sa.Degraded() == nil {
+		u.SendTo(ipv4.Addr{10, 0, 0, 9}, 9, []byte("fill the ring"))
+		if time.Now().After(deadline) {
+			t.Fatal("stack never degraded after host froze")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(sa.Degraded(), nic.ErrClosed) {
+		t.Fatalf("degraded error %v does not match ErrClosed", sa.Degraded())
+	}
+	if !errors.Is(sa.Degraded(), nic.ErrStalled) {
+		t.Fatalf("degraded error %v does not distinguish the stall", sa.Degraded())
+	}
+}

@@ -43,6 +43,12 @@ type Stack struct {
 	arpWait  map[ipv4.Addr][]pendingPkt
 	ipID     uint16
 	stats    Stats
+	// nicErr records the terminal transport error (fail-dead or host
+	// stall) that degraded the stack; set once, never cleared. A
+	// degraded stack is dead for good — recovery happens below it
+	// (safering.Reincarnate) and a fresh Stack is built on the reborn
+	// transport, keeping the stack itself stateless about incarnations.
+	nicErr error
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -54,6 +60,10 @@ type Stats struct {
 	ARPRequests         uint64
 	IPDrops             uint64
 	SendDrops           uint64
+	// DeadDrops is the subset of SendDrops discarded because the
+	// transport underneath had already fail-deaded (the counted UDP/IP
+	// losses of graceful degradation; TCP flows get errors instead).
+	DeadDrops uint64
 }
 
 type pendingPkt struct {
@@ -98,6 +108,39 @@ func (s *Stack) Stats() Stats {
 	return s.stats
 }
 
+// Degraded returns the terminal transport error that degraded the
+// stack, or nil while the transport is healthy. errors.Is distinguishes
+// a declared host stall (nic.ErrStalled) from any other fail-dead
+// (nic.ErrClosed).
+func (s *Stack) Degraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nicErr
+}
+
+// degrade moves the stack into its terminal degraded state after the
+// transport died: TCP connections and listeners are torn down with the
+// transport error (blocked readers, writers and accepts wake
+// immediately), queued ARP waiters are dropped and counted, and every
+// later send is a counted drop. UDP receivers keep their normal timeout
+// semantics — graceful degradation, not a hang. Idempotent and safe
+// from any goroutine.
+func (s *Stack) degrade(err error) {
+	s.mu.Lock()
+	if s.nicErr != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.nicErr = err
+	for ip, pkts := range s.arpWait {
+		s.stats.SendDrops += uint64(len(pkts))
+		s.stats.DeadDrops += uint64(len(pkts))
+		delete(s.arpWait, ip)
+	}
+	s.mu.Unlock()
+	s.TCP.AbortAll(err)
+}
+
 // Start launches the receive/timer loop.
 func (s *Stack) Start() {
 	s.wg.Add(1)
@@ -138,8 +181,11 @@ func (s *Stack) loop() {
 			// Multi-queue receive drains every queue each iteration: each
 			// queue gets its own batched dequeue (own index validation,
 			// own consumer publication), and no queue can starve another.
+			// One terminal queue error means the whole device fail-deaded
+			// (fate is shared through the transport latch): degrade and
+			// exit rather than spin on a dead device.
 			for q := 0; q < s.mq.NumQueues(); q++ {
-				n, _ := s.mq.Queue(q).RecvBatch(burst)
+				n, err := s.mq.Queue(q).RecvBatch(burst)
 				for i := 0; i < n; i++ {
 					s.handleFrame(burst[i].Bytes())
 					burst[i].Release()
@@ -147,6 +193,10 @@ func (s *Stack) loop() {
 				}
 				if n > 0 {
 					worked = true
+				}
+				if err != nil && errors.Is(err, nic.ErrClosed) {
+					s.degrade(err)
+					return
 				}
 			}
 		} else if bg != nil {
@@ -161,10 +211,18 @@ func (s *Stack) loop() {
 			if n > 0 && err == nil {
 				worked = true
 			}
+			if err != nil && errors.Is(err, nic.ErrClosed) {
+				s.degrade(err)
+				return
+			}
 		} else {
 			for i := 0; i < rxBurst; i++ {
 				fr, err := s.g.Recv()
 				if err != nil {
+					if errors.Is(err, nic.ErrClosed) {
+						s.degrade(err)
+						return
+					}
 					break
 				}
 				s.handleFrame(fr.Bytes())
@@ -347,6 +405,16 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 	if len(payloads) == 0 {
 		return
 	}
+	s.mu.Lock()
+	if s.nicErr != nil {
+		// Degraded: every send is a counted drop (UDP semantics; TCP
+		// connections were already torn down with the transport error).
+		s.stats.SendDrops += uint64(len(payloads))
+		s.stats.DeadDrops += uint64(len(payloads))
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
 	src := ether.MAC(s.g.MAC())
 	frames := make([][]byte, len(payloads))
 	for i, p := range payloads {
@@ -363,6 +431,7 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 		bg = s.mq.Queue(nic.QueueFor(frames[0], s.mq.NumQueues()))
 	}
 	sent := 0
+	var fatal error
 	for i := 0; i < sendRetries && sent < len(frames); i++ {
 		if bg != nil {
 			n, err := bg.SendBatch(frames[sent:])
@@ -371,6 +440,9 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 				continue // progress: flush the remainder immediately
 			}
 			if !errors.Is(err, nic.ErrFull) {
+				if errors.Is(err, nic.ErrClosed) {
+					fatal = err
+				}
 				break
 			}
 		} else {
@@ -380,6 +452,9 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 				continue
 			}
 			if !errors.Is(err, nic.ErrFull) {
+				if errors.Is(err, nic.ErrClosed) {
+					fatal = err
+				}
 				break
 			}
 		}
@@ -388,7 +463,16 @@ func (s *Stack) sendFrames(dst ether.MAC, typ uint16, payloads [][]byte) {
 	s.mu.Lock()
 	s.stats.FramesOut += uint64(sent)
 	s.stats.SendDrops += uint64(len(frames) - sent)
+	if fatal != nil {
+		s.stats.DeadDrops += uint64(len(frames) - sent)
+	}
 	s.mu.Unlock()
+	if fatal != nil {
+		// A send can observe the death before the receive loop does;
+		// degrade from here too so blocked TCP callers never wait for
+		// the loop to notice.
+		s.degrade(fatal)
+	}
 }
 
 // --- TCP convenience API ---

@@ -236,6 +236,14 @@ type MultiPump struct {
 	rxFrames atomic.Uint64
 	perTx    []atomic.Uint64
 	perRx    []atomic.Uint64
+
+	// Dead-queue tracking: a queue whose backend returns a terminal
+	// error is marked dead; when every queue is dead the RX dispatcher
+	// collects itself too, so a fail-deaded device leaves zero pump
+	// goroutines behind without anyone calling Stop.
+	deadQ   []atomic.Bool
+	nDead   atomic.Int32
+	running atomic.Int32
 }
 
 // StartMultiPump begins pumping every queue of hosts against port. The
@@ -249,19 +257,36 @@ func StartMultiPump(hosts []BatchHost, port *simnet.Port) *MultiPump {
 		stop:  make(chan struct{}),
 		perTx: make([]atomic.Uint64, len(hosts)),
 		perRx: make([]atomic.Uint64, len(hosts)),
+		deadQ: make([]atomic.Bool, len(hosts)),
 	}
 	for i, h := range hosts {
 		p.wg.Add(1)
+		p.running.Add(1)
 		go p.runTX(i, h, port)
 	}
 	p.wg.Add(1)
+	p.running.Add(1)
 	go p.runRX(hosts, port)
 	return p
+}
+
+// Running reports how many pump goroutines are still alive. It reaches
+// zero after Stop — or earlier, when the whole device fail-deads and
+// every goroutine collects itself (the restart-after-death tests poll
+// it before reincarnating).
+func (p *MultiPump) Running() int { return int(p.running.Load()) }
+
+// markDead records queue q's backend as terminally closed.
+func (p *MultiPump) markDead(q int) {
+	if !p.deadQ[q].Swap(true) {
+		p.nDead.Add(1)
+	}
 }
 
 // runTX drains one queue's transmit ring onto the wire.
 func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
 	defer p.wg.Done()
+	defer p.running.Add(-1)
 	bufs := make([][]byte, pumpBurst)
 	for i := range bufs {
 		bufs[i] = make([]byte, h.FrameCap())
@@ -276,6 +301,7 @@ func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
 		}
 		n, err := h.PopBatch(bufs, lens)
 		if err != nil && !errors.Is(err, ErrEmpty) {
+			p.markDead(q)
 			return // queue (or whole device) is dead; nothing to pump
 		}
 		if n == 0 {
@@ -302,6 +328,7 @@ func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
 // steering stage itself is allocation- and lock-free in steady state.
 func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
 	defer p.wg.Done()
+	defer p.running.Add(-1)
 	byQueue := make([][][]byte, len(hosts))
 	for i := range byQueue {
 		byQueue[i] = make([][]byte, 0, pumpBurst)
@@ -312,6 +339,9 @@ func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
 		case <-p.stop:
 			return
 		default:
+		}
+		if int(p.nDead.Load()) == len(hosts) {
+			return // whole device dead: every TX goroutine saw ErrClosed
 		}
 		got := 0
 		for q := range byQueue {
@@ -335,10 +365,10 @@ func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
 		}
 		idle = 0
 		for q, frames := range byQueue {
-			if len(frames) == 0 {
-				continue
+			if len(frames) == 0 || p.deadQ[q].Load() {
+				continue // frames for a dead queue are drops
 			}
-			n := p.deliverQueue(hosts[q], frames)
+			n := p.deliverQueue(q, hosts[q], frames)
 			p.rxFrames.Add(uint64(n))
 			p.perRx[q].Add(uint64(n))
 		}
@@ -346,8 +376,9 @@ func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
 }
 
 // deliverQueue pushes one queue's share of an inbound burst, retrying
-// briefly on transient backpressure then dropping the remainder.
-func (p *MultiPump) deliverQueue(h BatchHost, frames [][]byte) int {
+// briefly on transient backpressure then dropping the remainder. A
+// terminal error marks the queue dead so the dispatcher stops feeding it.
+func (p *MultiPump) deliverQueue(q int, h BatchHost, frames [][]byte) int {
 	sent := 0
 	for attempt := 0; attempt < 100 && sent < len(frames); attempt++ {
 		n, err := h.PushBatch(frames[sent:])
@@ -356,6 +387,9 @@ func (p *MultiPump) deliverQueue(h BatchHost, frames [][]byte) int {
 			continue
 		}
 		if !errors.Is(err, ErrFull) {
+			if errors.Is(err, ErrClosed) {
+				p.markDead(q)
+			}
 			break
 		}
 		time.Sleep(10 * time.Microsecond)

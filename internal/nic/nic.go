@@ -12,6 +12,7 @@ package nic
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,12 @@ var ErrFull = errors.New("nic: transport full")
 
 // ErrClosed means the endpoint was shut down or died fatally.
 var ErrClosed = errors.New("nic: endpoint closed")
+
+// ErrStalled means the transport fail-deaded because the host stopped
+// making progress (see safering.ErrStalled). It matches ErrClosed via
+// errors.Is, so generic teardown paths need no special case; stacks that
+// want to report the stall distinctly test for ErrStalled first.
+var ErrStalled = fmt.Errorf("%w: host stalled", ErrClosed)
 
 // Frame is one received Ethernet frame. Bytes is valid until Release.
 type Frame interface {
@@ -116,21 +123,29 @@ type Pump struct {
 	// handoff with readers) to every burst.
 	txFrames atomic.Uint64
 	rxFrames atomic.Uint64
+	running  atomic.Int32
 }
 
 // StartPump begins shuttling between h and port until Stop.
 func StartPump(h Host, port *simnet.Port) *Pump {
 	p := &Pump{stop: make(chan struct{})}
 	p.wg.Add(1)
+	p.running.Add(1)
 	go p.run(h, port)
 	return p
 }
+
+// Running reports how many pump goroutines are still alive. It reaches
+// zero after Stop — or earlier, when the backend fail-deads and the pump
+// collects itself (tests use it as a goroutine-leak gauge).
+func (p *Pump) Running() int { return int(p.running.Load()) }
 
 // pumpBurst bounds the frames moved per direction per loop iteration.
 const pumpBurst = 64
 
 func (p *Pump) run(h Host, port *simnet.Port) {
 	defer p.wg.Done()
+	defer p.running.Add(-1)
 	bh, _ := h.(BatchHost)
 	var bufs [][]byte
 	var lens []int
@@ -153,9 +168,16 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 		worked := false
 
 		// Guest -> network: drain a burst of transmit frames with one
-		// batched pop when the backend supports it.
+		// batched pop when the backend supports it. A terminal backend
+		// error (ErrClosed: the device fail-deaded) collects the pump —
+		// polling a dead device forever would leak this goroutine until
+		// someone remembered to call Stop.
 		if bh != nil {
-			if n, err := bh.PopBatch(bufs, lens); err == nil && n > 0 {
+			n, err := bh.PopBatch(bufs, lens)
+			if err != nil && !errors.Is(err, ErrEmpty) {
+				return
+			}
+			if n > 0 {
 				sent := uint64(0)
 				for i := 0; i < n; i++ {
 					if serr := port.Send(bufs[i][:lens[i]]); serr == nil {
@@ -170,6 +192,8 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 				p.txFrames.Add(1)
 			}
 			worked = true
+		} else if !errors.Is(err, ErrEmpty) {
+			return
 		}
 
 		// Network -> guest: collect whatever the wire delivered, then

@@ -18,6 +18,9 @@ type Meter struct {
 	cryptoBytes   atomic.Uint64
 	pagesShared   atomic.Uint64
 	pagesRevoked  atomic.Uint64
+	deaths        atomic.Uint64
+	reincarnation atomic.Uint64
+	stalls        atomic.Uint64
 }
 
 // CrossTEE records n world switches between the TEE and the host
@@ -89,6 +92,30 @@ func (m *Meter) Revoke(n int) {
 	}
 }
 
+// Death records n device fail-dead transitions (a latched protocol
+// violation or declared host stall). Liveness events carry no ModelNanos
+// weight — they are not datapath work — but they are part of the cost
+// story: every death means a full device teardown plus quarantine.
+func (m *Meter) Death(n int) {
+	if m != nil {
+		m.deaths.Add(uint64(n))
+	}
+}
+
+// Reincarnation records n successful device rebirths at a new epoch.
+func (m *Meter) Reincarnation(n int) {
+	if m != nil {
+		m.reincarnation.Add(uint64(n))
+	}
+}
+
+// Stall records n host-stall detections by the progress watchdog.
+func (m *Meter) Stall(n int) {
+	if m != nil {
+		m.stalls.Add(uint64(n))
+	}
+}
+
 // Costs is an immutable snapshot of a Meter.
 type Costs struct {
 	TEECrossings   uint64
@@ -100,6 +127,9 @@ type Costs struct {
 	CryptoBytes    uint64
 	PagesShared    uint64
 	PagesRevoked   uint64
+	Deaths         uint64
+	Reincarnations uint64
+	StallsDetected uint64
 }
 
 // Snapshot captures the meter's current counters.
@@ -114,6 +144,9 @@ func (m *Meter) Snapshot() Costs {
 		CryptoBytes:    m.cryptoBytes.Load(),
 		PagesShared:    m.pagesShared.Load(),
 		PagesRevoked:   m.pagesRevoked.Load(),
+		Deaths:         m.deaths.Load(),
+		Reincarnations: m.reincarnation.Load(),
+		StallsDetected: m.stalls.Load(),
 	}
 }
 
@@ -129,6 +162,9 @@ func (c Costs) Sub(earlier Costs) Costs {
 		CryptoBytes:    c.CryptoBytes - earlier.CryptoBytes,
 		PagesShared:    c.PagesShared - earlier.PagesShared,
 		PagesRevoked:   c.PagesRevoked - earlier.PagesRevoked,
+		Deaths:         c.Deaths - earlier.Deaths,
+		Reincarnations: c.Reincarnations - earlier.Reincarnations,
+		StallsDetected: c.StallsDetected - earlier.StallsDetected,
 	}
 }
 
@@ -144,12 +180,21 @@ func (c Costs) Add(other Costs) Costs {
 		CryptoBytes:    c.CryptoBytes + other.CryptoBytes,
 		PagesShared:    c.PagesShared + other.PagesShared,
 		PagesRevoked:   c.PagesRevoked + other.PagesRevoked,
+		Deaths:         c.Deaths + other.Deaths,
+		Reincarnations: c.Reincarnations + other.Reincarnations,
+		StallsDetected: c.StallsDetected + other.StallsDetected,
 	}
 }
 
 func (c Costs) String() string {
-	return fmt.Sprintf("tee=%d gate=%d copied=%dB checks=%d notif=%d pub=%d crypto=%dB shared=%dpg revoked=%dpg",
+	s := fmt.Sprintf("tee=%d gate=%d copied=%dB checks=%d notif=%d pub=%d crypto=%dB shared=%dpg revoked=%dpg",
 		c.TEECrossings, c.GateCrossings, c.BytesCopied, c.Checks, c.Notifications, c.IndexPublishes, c.CryptoBytes, c.PagesShared, c.PagesRevoked)
+	// Liveness events are zero in every healthy run; appending them only
+	// when present keeps the steady-state benchmark lines unchanged.
+	if c.Deaths != 0 || c.Reincarnations != 0 || c.StallsDetected != 0 {
+		s += fmt.Sprintf(" deaths=%d reinc=%d stalls=%d", c.Deaths, c.Reincarnations, c.StallsDetected)
+	}
+	return s
 }
 
 // CostParams weights each event class in nanoseconds. The defaults are

@@ -19,13 +19,16 @@ type GuestNIC struct {
 // NIC returns the endpoint's nic.Guest view.
 func (e *Endpoint) NIC() nic.Guest { return &GuestNIC{EP: e} }
 
-// Send implements nic.Guest.
+// Send implements nic.Guest. Stall deaths map to nic.ErrStalled (which
+// still matches nic.ErrClosed) so the stack can report the distinction.
 func (g *GuestNIC) Send(frame []byte) error {
 	switch err := g.EP.Send(frame); {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrRingFull):
 		return nic.ErrFull
+	case errors.Is(err, ErrStalled):
+		return nic.ErrStalled
 	case errors.Is(err, ErrDead):
 		return nic.ErrClosed
 	default:
@@ -41,6 +44,8 @@ func (g *GuestNIC) Recv() (nic.Frame, error) {
 		return rx, nil
 	case errors.Is(err, ErrRingEmpty):
 		return nil, nic.ErrEmpty
+	case errors.Is(err, ErrStalled):
+		return nil, nic.ErrStalled
 	case errors.Is(err, ErrDead):
 		return nil, nic.ErrClosed
 	default:
@@ -57,6 +62,8 @@ func (g *GuestNIC) SendBatch(frames [][]byte) (int, error) {
 		return n, nil
 	case errors.Is(err, ErrRingFull):
 		return n, nic.ErrFull
+	case errors.Is(err, ErrStalled):
+		return n, nic.ErrStalled
 	case errors.Is(err, ErrDead):
 		return n, nic.ErrClosed
 	default:
@@ -83,6 +90,8 @@ func (g *GuestNIC) RecvBatch(out []nic.Frame) (int, error) {
 		return n, nil
 	case errors.Is(err, ErrRingEmpty):
 		return n, nic.ErrEmpty
+	case errors.Is(err, ErrStalled):
+		return n, nic.ErrStalled
 	case errors.Is(err, ErrDead):
 		return n, nic.ErrClosed
 	default:

@@ -1,6 +1,11 @@
 package safering
 
-import "confio/internal/platform"
+import (
+	"context"
+	"sync/atomic"
+
+	"confio/internal/platform"
+)
 
 // Doorbell is the optional notification primitive (§3.2 principle 3:
 // prefer polling; when notifications are unavoidable, make the handler
@@ -15,6 +20,11 @@ import "confio/internal/platform"
 type Doorbell struct {
 	ch    chan struct{}
 	meter *platform.Meter
+	// sealed disarms the doorbell forever: rebirth seals the old
+	// incarnation's bells so a host still holding them cannot ring the
+	// new device awake. Stale rings are counted, not acted on.
+	sealed atomic.Bool
+	stale  atomic.Uint64
 }
 
 // NewDoorbell returns an unarmed doorbell; meter may be nil.
@@ -24,8 +34,13 @@ func NewDoorbell(meter *platform.Meter) *Doorbell {
 
 // Ring arms the doorbell. Safe from any goroutine; never blocks.
 // Each ring is a boundary notification in the cost model (interrupt
-// injection / doorbell MMIO exit).
+// injection / doorbell MMIO exit). Ringing a sealed doorbell is a
+// counted no-op: the old incarnation's bell cannot wake the new device.
 func (d *Doorbell) Ring() {
+	if d.sealed.Load() {
+		d.stale.Add(1)
+		return
+	}
 	d.meter.Notify(1)
 	select {
 	case d.ch <- struct{}{}:
@@ -35,6 +50,18 @@ func (d *Doorbell) Ring() {
 
 // Wait blocks until the doorbell has been rung since the last Wait.
 func (d *Doorbell) Wait() { <-d.ch }
+
+// WaitCtx blocks until the doorbell rings or ctx is done, returning
+// ctx.Err() in the latter case. Shutdown paths use it so a goroutine
+// waiting on a dead (never-ringing) host can always be collected.
+func (d *Doorbell) WaitCtx(ctx context.Context) error {
+	select {
+	case <-d.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // TryWait reports whether the doorbell was rung, without blocking.
 func (d *Doorbell) TryWait() bool {
@@ -48,3 +75,21 @@ func (d *Doorbell) TryWait() bool {
 
 // Chan exposes the trigger for select loops.
 func (d *Doorbell) Chan() <-chan struct{} { return d.ch }
+
+// Seal permanently disarms the doorbell (nil-safe; idempotent). Called
+// on the old incarnation's bells at rebirth.
+func (d *Doorbell) Seal() {
+	if d == nil {
+		return
+	}
+	d.sealed.Store(true)
+}
+
+// StaleRings reports how many rings arrived after Seal — an audit
+// counter for hosts that keep ringing a dead incarnation.
+func (d *Doorbell) StaleRings() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.stale.Load()
+}

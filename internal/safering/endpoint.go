@@ -38,6 +38,14 @@ type Endpoint struct {
 
 	mu   sync.Mutex
 	dead error
+	// deadOp is the cached error dead operations report: ErrDead wrapped
+	// around the original cause, built once at death so the (dead) fast
+	// path stays allocation-free and callers can still distinguish a
+	// stalled host (errors.Is(err, ErrStalled)) from a protocol violation.
+	deadOp error
+	// rec is the quarantine state governing Reincarnate; lazily built
+	// from DefaultRecoveryPolicy on first use.
+	rec *reincarnation
 
 	// TX private state (never derived from shared memory).
 	txHead     uint64
@@ -67,7 +75,7 @@ var txStageFault func() error
 // New constructs the guest endpoint and all shared device state for cfg.
 // The meter may be nil.
 func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
-	sh, err := newShared(cfg, meter)
+	sh, err := newShared(cfg, meter, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -109,21 +117,41 @@ func (e *Endpoint) Config() DeviceConfig { return e.sh.Cfg }
 func (e *Endpoint) Dead() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead == nil && e.latch != nil {
-		e.dead = e.latch.Dead()
+	e.deadLocked()
+	return e.dead
+}
+
+// Epoch returns the current device incarnation.
+func (e *Endpoint) Epoch() uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sh.Epoch
+}
+
+// fail records the fatal violation, adopting the device-wide first cause.
+// On a multi-queue device the latch arbitrates concurrent killers through
+// one CAS, so every queue — including the ones that lost the race —
+// reports the same cause from then on. The device death is metered once,
+// by the queue whose kill won.
+func (e *Endpoint) fail(err error) error {
+	if e.dead == nil {
+		cause, won := e.latch.Kill(err)
+		if cause == nil { // single-queue device: no latch arbitration
+			cause, won = err, true
+		}
+		e.adoptLocked(cause)
+		if won {
+			e.meter.Death(1)
+		}
 	}
 	return e.dead
 }
 
-// fail records the first fatal violation; later calls keep the original.
-// On a multi-queue device the violation is propagated to the device-wide
-// latch so every sibling queue dies with this one.
-func (e *Endpoint) fail(err error) error {
-	if e.dead == nil {
-		e.dead = err
-	}
-	e.latch.Kill(e.dead)
-	return e.dead
+// adoptLocked records cause as this queue's death and builds the cached
+// dead-operation error. Caller holds e.mu.
+func (e *Endpoint) adoptLocked(cause error) {
+	e.dead = cause
+	e.deadOp = fmt.Errorf("%w (cause: %w)", ErrDead, cause)
 }
 
 // deadLocked reports whether the endpoint (or, through the device latch,
@@ -134,11 +162,20 @@ func (e *Endpoint) deadLocked() bool {
 	}
 	if e.latch != nil {
 		if err := e.latch.Dead(); err != nil {
-			e.dead = err
+			e.adoptLocked(err)
 			return true
 		}
 	}
 	return false
+}
+
+// deadOpLocked returns the error dead operations report. Caller holds
+// e.mu and has established deadLocked().
+func (e *Endpoint) deadOpLocked() error {
+	if e.deadOp == nil {
+		e.deadOp = ErrDead
+	}
+	return e.deadOp
 }
 
 // checkFrame validates a frame size against the fixed geometry.
@@ -162,7 +199,7 @@ func (e *Endpoint) Send(frame []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deadLocked() {
-		return ErrDead
+		return e.deadOpLocked()
 	}
 	cons, err := e.reapLocked()
 	if err != nil {
@@ -198,7 +235,7 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deadLocked() {
-		return 0, ErrDead
+		return 0, e.deadOpLocked()
 	}
 	cons, err := e.reapLocked()
 	if err != nil {
@@ -236,7 +273,7 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 	case Inline:
 		e.sh.TX.WriteInline(e.txHead, frame)
 		e.meter.Copy(len(frame))
-		d = Desc{Len: uint32(len(frame)), Kind: KindInline}
+		d = Desc{Len: uint32(len(frame)), Kind: KindWord(KindInline, e.sh.Epoch)}
 	case SharedArea:
 		h, aerr := e.sh.TXData.Alloc()
 		if aerr != nil {
@@ -258,7 +295,7 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 		// after warm-up the steady-state send path allocates nothing.
 		idx := e.txHead & (e.sh.TX.NSlots() - 1)
 		e.txHandles[idx] = append(e.txHandles[idx][:0], h)
-		d = Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(h)}
+		d = Desc{Len: uint32(len(frame)), Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(h)}
 	case Indirect:
 		var derr error
 		d, derr = e.stageIndirectLocked(frame)
@@ -319,7 +356,7 @@ func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
 	}
 	e.sh.TXInd.SetU64(entry, uint64(nseg))
 	e.txHandles[idx] = handles
-	return Desc{Len: uint32(len(frame)), Kind: KindIndirect, Ref: idx}, nil
+	return Desc{Len: uint32(len(frame)), Kind: KindWord(KindIndirect, e.sh.Epoch), Ref: idx}, nil
 }
 
 // reapLocked observes the host's TX consumer index, validates it, and
@@ -354,7 +391,7 @@ func (e *Endpoint) Reap() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deadLocked() {
-		return ErrDead
+		return e.deadOpLocked()
 	}
 	_, err := e.reapLocked()
 	return err
@@ -432,7 +469,7 @@ func (e *Endpoint) newFrameLocked(data []byte, pooled *[]byte, slab int) *RxFram
 // index store.
 func (e *Endpoint) stageSlabLocked(slab int) {
 	e.slabHeld[slab] = true
-	e.sh.RXFree.WriteDesc(e.rxFreeHead, Desc{Len: platform.PageSize, Kind: KindShared, Ref: uint64(slab)})
+	e.sh.RXFree.WriteDesc(e.rxFreeHead, Desc{Len: platform.PageSize, Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(slab)})
 	e.rxFreeHead++
 }
 
@@ -482,6 +519,19 @@ func (e *Endpoint) publishRXLocked() {
 func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 	d := e.sh.RXUsed.ReadDesc(e.rxTail) // single snapshot
 	e.meter.Check(1)
+
+	// The kind word must carry the expected kind code AND the current
+	// device epoch: a descriptor recorded before a reincarnation carries
+	// the old tag, so a host replaying the previous incarnation's ring
+	// into this one dies here rather than confusing the new instance.
+	want := uint32(KindShared)
+	if e.sh.Cfg.Mode == Inline {
+		want = KindInline
+	}
+	if KindCode(d.Kind) != want || KindEpoch(d.Kind) != EpochTag(e.sh.Epoch) {
+		return nil, e.fail(fmt.Errorf("%w: rx descriptor kind %#x (want code %d, epoch %d): stale or forged incarnation",
+			ErrProtocol, d.Kind, want, EpochTag(e.sh.Epoch)))
+	}
 
 	switch e.sh.Cfg.Mode {
 	case Inline:
@@ -541,7 +591,7 @@ func (e *Endpoint) Recv() (*RxFrame, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deadLocked() {
-		return nil, ErrDead
+		return nil, e.deadOpLocked()
 	}
 	avail, err := e.rxAvailLocked()
 	if err != nil {
@@ -572,7 +622,7 @@ func (e *Endpoint) RecvBatch(out []*RxFrame) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.deadLocked() {
-		return 0, ErrDead
+		return 0, e.deadOpLocked()
 	}
 	avail, err := e.rxAvailLocked()
 	if err != nil {

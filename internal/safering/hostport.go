@@ -53,9 +53,12 @@ func (h *HostPort) Dead() error {
 
 func (h *HostPort) fail(err error) error {
 	if h.dead == nil {
-		h.dead = err
+		cause, _ := h.latch.Kill(err)
+		if cause == nil { // single-queue device model: no latch
+			cause = err
+		}
+		h.dead = cause
 	}
-	h.latch.Kill(h.dead)
 	return h.dead
 }
 
@@ -145,20 +148,27 @@ func (h *HostPort) PopBatch(bufs [][]byte, lens []int) (int, error) {
 }
 
 // gather copies the frame named by a (snapshotted) TX descriptor into buf.
+// The kind word must carry the expected code at the current epoch: the
+// mutual-distrust mirror of the guest's RX check, so a guest replaying
+// pre-reincarnation descriptors is caught the same way a host would be.
 func (h *HostPort) gather(d Desc, buf []byte) (int, error) {
 	if d.Len == 0 || int(d.Len) > h.sh.Cfg.FrameCap() || int(d.Len) > len(buf) {
 		return 0, fmt.Errorf("%w: tx descriptor length %d", ErrProtocol, d.Len)
 	}
+	if KindEpoch(d.Kind) != EpochTag(h.sh.Epoch) {
+		return 0, fmt.Errorf("%w: tx descriptor epoch %d != device epoch %d (stale incarnation)",
+			ErrProtocol, KindEpoch(d.Kind), EpochTag(h.sh.Epoch))
+	}
 	switch h.sh.Cfg.Mode {
 	case Inline:
-		if d.Kind != KindInline || int(d.Len) > h.sh.TX.InlineCap() {
+		if KindCode(d.Kind) != KindInline || int(d.Len) > h.sh.TX.InlineCap() {
 			return 0, fmt.Errorf("%w: bad inline tx descriptor %+v", ErrProtocol, d)
 		}
 		h.sh.TX.ReadInline(h.txTail, buf[:d.Len])
 		return int(d.Len), nil
 
 	case SharedArea:
-		if d.Kind != KindShared || int(d.Len) > h.sh.TXData.SlabSize() {
+		if KindCode(d.Kind) != KindShared || int(d.Len) > h.sh.TXData.SlabSize() {
 			return 0, fmt.Errorf("%w: bad shared tx descriptor %+v", ErrProtocol, d)
 		}
 		off := h.sh.TXData.PeerOffset(shmem.Handle(d.Ref))
@@ -166,7 +176,7 @@ func (h *HostPort) gather(d Desc, buf []byte) (int, error) {
 		return int(d.Len), nil
 
 	case Indirect:
-		if d.Kind != KindIndirect {
+		if KindCode(d.Kind) != KindIndirect {
 			return 0, fmt.Errorf("%w: bad indirect tx descriptor %+v", ErrProtocol, d)
 		}
 		entrySize := uint64(indEntrySize(h.sh.Cfg.Segments))
@@ -277,7 +287,7 @@ func (h *HostPort) PushBatch(frames [][]byte) (int, error) {
 func (h *HostPort) stagePushLocked(frame []byte) error {
 	if h.sh.Cfg.Mode == Inline {
 		h.sh.RXUsed.WriteInline(h.rxHead, frame)
-		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindInline})
+		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindWord(KindInline, h.sh.Epoch)})
 	} else {
 		slab, err := h.popFreeSlab()
 		if err != nil {
@@ -289,7 +299,7 @@ func (h *HostPort) stagePushLocked(frame []byte) error {
 			// honest host's perspective that is a guest protocol bug.
 			return h.fail(fmt.Errorf("%w: rx slab %d: %v", ErrProtocol, slab, err))
 		}
-		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindShared, Ref: uint64(slab)})
+		h.sh.RXUsed.WriteDesc(h.rxHead, Desc{Len: uint32(len(frame)), Kind: KindWord(KindShared, h.sh.Epoch), Ref: uint64(slab)})
 	}
 	h.rxHead++
 	return nil
@@ -313,6 +323,10 @@ func (h *HostPort) popFreeSlab() (int, error) {
 		return 0, ErrRingFull
 	}
 	d := h.sh.RXFree.ReadDesc(h.rxFreeTail)
+	if KindCode(d.Kind) != KindShared || KindEpoch(d.Kind) != EpochTag(h.sh.Epoch) {
+		return 0, h.fail(fmt.Errorf("%w: free-slab descriptor kind %#x from wrong incarnation (device epoch %d)",
+			ErrProtocol, d.Kind, EpochTag(h.sh.Epoch)))
+	}
 	slab := int(d.Ref & uint64(h.sh.Cfg.Slots-1))
 	h.rxFreeTail++
 	h.sh.RXFree.Indexes().StoreCons(h.rxFreeTail)

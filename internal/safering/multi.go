@@ -2,6 +2,7 @@ package safering
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"confio/internal/platform"
@@ -28,13 +29,31 @@ type DeathLatch struct {
 // deathErr boxes the fatal error so the latch can CAS a single pointer.
 type deathErr struct{ err error }
 
-// Kill records the first device-fatal error. Later calls keep the
-// original (first-violation-wins, matching Endpoint.fail).
-func (l *DeathLatch) Kill(err error) {
-	if l == nil || err == nil {
-		return
+// Kill records the first device-fatal error. Concurrent killers race on
+// a single CAS so exactly one cause is latched; Kill returns that cause
+// — the value every later Dead() call repeats, whether or not it is the
+// err this caller brought — and whether this call won the race. Callers
+// must adopt the returned cause instead of the error they detected,
+// otherwise two queues dying simultaneously would report different
+// device-death causes (the first-error race this signature exists to
+// close).
+func (l *DeathLatch) Kill(err error) (cause error, won bool) {
+	if l == nil {
+		return nil, false
 	}
-	l.err.CompareAndSwap(nil, &deathErr{err: err})
+	if err == nil {
+		return l.Dead(), false
+	}
+	won = l.err.CompareAndSwap(nil, &deathErr{err: err})
+	return l.Dead(), won
+}
+
+// reset clears the latch for the next incarnation. Unexported on
+// purpose, and the ciovet latchclear rule enforces that only the
+// Reincarnate path calls it: clearing device death anywhere else would
+// reopen the recoverable-error surface fail-dead exists to remove.
+func (l *DeathLatch) reset() {
+	l.err.Store(nil)
 }
 
 // Dead returns the violation that killed the device, if any.
@@ -61,6 +80,11 @@ type MultiEndpoint struct {
 	bank   *platform.MeterBank
 	latch  *DeathLatch
 	cfg    DeviceConfig
+
+	// recMu guards the device-level quarantine state; reincarnation is a
+	// whole-device operation (all queues reborn under one admission).
+	recMu sync.Mutex
+	rec   *reincarnation
 }
 
 // NewMulti constructs an N-queue guest device. Every queue gets the same

@@ -1,0 +1,285 @@
+package safering
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file is the recovery half of fail-dead. Death stays exactly as
+// strict as before — a protocol violation still kills the whole device
+// with no resynchronization — but a dead device may be *reincarnated*:
+// the guest tears down the poisoned shared window and builds a fresh one
+// at the next epoch. The host's only role is to attach to the new window
+// (accept) or not (ignore); it cannot influence the rebirth, and the
+// epoch tag stamped into every descriptor makes the old window's
+// contents unreplayable into the new one.
+//
+// Recovery is rate-limited by a quarantine policy so a malicious host
+// does not get a free reset oracle: each admitted reincarnation arms an
+// exponentially growing (jittered) backoff before the next one, and a
+// death budget caps deaths per sliding window — exceeding it makes the
+// device permanently dead.
+
+// ErrNotDead is returned by Reincarnate on a live device: rebirth is a
+// recovery path, not a reset API (live replacement is Swap).
+var ErrNotDead = errors.New("safering: reincarnate: device is not dead")
+
+// ErrQuarantine rejects a reincarnation attempted before the backoff
+// from the previous death has elapsed. The attempt does not consume
+// death budget; retry after the backoff.
+var ErrQuarantine = errors.New("safering: reincarnation quarantined (backoff in effect)")
+
+// ErrBudgetExhausted means the device exceeded its death budget and is
+// permanently dead. Every later Reincarnate returns it; there is no
+// recovery from exhausted budget by design.
+var ErrBudgetExhausted = errors.New("safering: death budget exhausted: device is permanently dead")
+
+// RecoveryPolicy bounds how often a device may be reincarnated.
+type RecoveryPolicy struct {
+	// BaseBackoff is the quarantine after the first death in a window;
+	// it doubles with each subsequent death, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac adds up to this fraction of the backoff as seeded
+	// random jitter, de-synchronizing fleets of guests all reincarnating
+	// after the same host incident.
+	JitterFrac float64
+	// DeathBudget is the number of deaths tolerated per BudgetWindow;
+	// one more makes the device permanently dead.
+	DeathBudget  int
+	BudgetWindow time.Duration
+	// Clock supplies time (tests and the chaos harness inject a fake
+	// clock); nil means time.Now.
+	Clock func() time.Time
+	// Seed seeds the jitter source, keeping chaos runs reproducible.
+	Seed int64
+}
+
+// DefaultRecoveryPolicy returns the policy used when none is set.
+func DefaultRecoveryPolicy() RecoveryPolicy {
+	return RecoveryPolicy{
+		BaseBackoff:  10 * time.Millisecond,
+		MaxBackoff:   5 * time.Second,
+		JitterFrac:   0.2,
+		DeathBudget:  8,
+		BudgetWindow: time.Minute,
+		Clock:        time.Now,
+		Seed:         1,
+	}
+}
+
+// reincarnation is the quarantine state machine. Not self-locking: the
+// owner (Endpoint.mu or MultiEndpoint.recMu) serializes admit calls.
+type reincarnation struct {
+	policy    RecoveryPolicy
+	rng       *rand.Rand
+	deaths    []time.Time // admitted deaths inside the sliding window
+	notBefore time.Time   // next admission not before this instant
+	permanent bool
+}
+
+func newReincarnation(p RecoveryPolicy) *reincarnation {
+	if p.Clock == nil {
+		p.Clock = time.Now
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultRecoveryPolicy().BaseBackoff
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.DeathBudget <= 0 {
+		p.DeathBudget = DefaultRecoveryPolicy().DeathBudget
+	}
+	if p.BudgetWindow <= 0 {
+		p.BudgetWindow = DefaultRecoveryPolicy().BudgetWindow
+	}
+	return &reincarnation{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// admit decides whether one reincarnation may proceed now. On success it
+// records the death and arms the backoff for the next admission.
+func (r *reincarnation) admit() error {
+	if r.permanent {
+		return ErrBudgetExhausted
+	}
+	now := r.policy.Clock()
+	if now.Before(r.notBefore) {
+		return fmt.Errorf("%w: %v remaining", ErrQuarantine, r.notBefore.Sub(now))
+	}
+	// Slide the budget window.
+	cut := now.Add(-r.policy.BudgetWindow)
+	kept := r.deaths[:0]
+	for _, t := range r.deaths {
+		if t.After(cut) {
+			kept = append(kept, t)
+		}
+	}
+	r.deaths = kept
+	if len(r.deaths) >= r.policy.DeathBudget {
+		// Permanence is sticky: once the budget is blown the device never
+		// comes back, even after the window slides past the old deaths —
+		// otherwise a patient adversary just waits the window out.
+		r.permanent = true
+		return ErrBudgetExhausted
+	}
+	r.deaths = append(r.deaths, now)
+
+	shift := uint(len(r.deaths) - 1)
+	if shift > 30 {
+		shift = 30
+	}
+	back := r.policy.BaseBackoff << shift
+	if back <= 0 || back > r.policy.MaxBackoff {
+		back = r.policy.MaxBackoff
+	}
+	if r.policy.JitterFrac > 0 {
+		back += time.Duration(float64(back) * r.policy.JitterFrac * r.rng.Float64())
+	}
+	r.notBefore = now.Add(back)
+	return nil
+}
+
+// SetRecoveryPolicy installs the quarantine policy governing Reincarnate,
+// replacing any accumulated quarantine state. Call it at device setup;
+// the default is DefaultRecoveryPolicy.
+func (e *Endpoint) SetRecoveryPolicy(p RecoveryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = newReincarnation(p)
+}
+
+func (e *Endpoint) recLocked() *reincarnation {
+	if e.rec == nil {
+		e.rec = newReincarnation(DefaultRecoveryPolicy())
+	}
+	return e.rec
+}
+
+// Reincarnate recovers a dead single-queue device: it tears down the
+// poisoned shared window, builds a fresh one at the next epoch, and
+// returns it for a new host backend to attach to. The handshake is
+// exactly that — the host attaches to the returned Shared or it does
+// not; there is nothing for it to negotiate, influence, or replay,
+// because every descriptor of the old incarnation carries the old epoch
+// tag and is fatally rejected by the new one.
+//
+// Admission is governed by the recovery policy: ErrQuarantine while the
+// backoff from the previous death is still running (retry later), and
+// ErrBudgetExhausted — permanently — once the death budget is blown.
+// A live device is refused with ErrNotDead.
+func (e *Endpoint) Reincarnate() (*Shared, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.latch != nil {
+		return nil, fmt.Errorf("safering: reincarnate: endpoint is one queue of a multi-queue device; recovery is device-wide (use MultiEndpoint.Reincarnate)")
+	}
+	if !e.deadLocked() {
+		return nil, ErrNotDead
+	}
+	if err := e.recLocked().admit(); err != nil {
+		return nil, err
+	}
+	sh, err := e.rebirthLocked()
+	if err != nil {
+		return nil, err
+	}
+	e.dead, e.deadOp = nil, nil
+	e.meter.Reincarnation(1)
+	return sh, nil
+}
+
+// rebirthLocked replaces the device instance with a fresh one at the
+// next epoch and resets all private protocol state. It does NOT clear
+// death — only the Reincarnate entry points do that, after quarantine
+// admission. The old incarnation's doorbells are sealed so a host still
+// holding them cannot ring the new device awake (stale rings are counted
+// for audit, not acted on). Caller holds e.mu.
+func (e *Endpoint) rebirthLocked() (*Shared, error) {
+	sh, err := newShared(e.sh.Cfg, e.meter, e.sh.Epoch+1)
+	if err != nil {
+		return nil, err
+	}
+	old := e.sh
+	old.TXBell.Seal()
+	old.RXBell.Seal()
+	e.sh = sh
+
+	// Reset all private protocol state. Un-reaped TX slabs belonged to
+	// the old arena and vanish with it.
+	e.txHead, e.txConsSeen, e.txFreed = 0, 0, 0
+	for i := range e.txHandles {
+		e.txHandles[i] = nil
+	}
+	e.rxTail, e.rxFreeHead, e.rxFreePub = 0, 0, 0
+	if e.slabHeld != nil {
+		for i := range e.slabHeld {
+			e.slabHeld[i] = false
+		}
+		for slab := 0; slab < e.sh.Cfg.Slots; slab++ {
+			e.stageSlabLocked(slab)
+		}
+		e.publishFreeLocked()
+	}
+	return sh, nil
+}
+
+// SetRecoveryPolicy installs the device-wide quarantine policy.
+func (m *MultiEndpoint) SetRecoveryPolicy(p RecoveryPolicy) {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	m.rec = newReincarnation(p)
+}
+
+// Reincarnate recovers a dead multi-queue device as one atomic unit:
+// every queue is reborn at the next epoch under a single quarantine
+// admission, then the device-wide latch is cleared. Per-queue recovery
+// is deliberately impossible (Endpoint.Reincarnate refuses queues of a
+// multi device): fail-dead made the blast radius the whole device, so
+// recovery has the same radius — a host cannot keep one poisoned queue
+// alive while the guest revives the rest.
+//
+// Returns the new per-queue shared windows, index-aligned, for the new
+// host backend to attach to.
+func (m *MultiEndpoint) Reincarnate() ([]*Shared, error) {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	if m.latch.Dead() == nil {
+		return nil, ErrNotDead
+	}
+	if m.rec == nil {
+		m.rec = newReincarnation(DefaultRecoveryPolicy())
+	}
+	if err := m.rec.admit(); err != nil {
+		return nil, err
+	}
+	// Hold every queue lock across the whole rebirth so no queue can
+	// observe a half-reincarnated device (some queues at the new epoch,
+	// the latch still dead, siblings on the old window).
+	for _, q := range m.queues {
+		q.mu.Lock()
+	}
+	defer func() {
+		for _, q := range m.queues {
+			q.mu.Unlock()
+		}
+	}()
+	shs := make([]*Shared, len(m.queues))
+	for i, q := range m.queues {
+		sh, err := q.rebirthLocked()
+		if err != nil {
+			// The device stays dead (latch untouched) and the admission
+			// stays consumed; allocation failure is not a free retry.
+			return nil, err
+		}
+		shs[i] = sh
+	}
+	for _, q := range m.queues {
+		q.dead, q.deadOp = nil, nil
+	}
+	m.latch.reset()
+	m.queues[0].meter.Reincarnation(1)
+	return shs, nil
+}

@@ -38,6 +38,27 @@ var ErrFrameSize = errors.New("safering: frame exceeds configured capacity")
 // ErrDead is returned after a fatal violation killed the endpoint.
 var ErrDead = errors.New("safering: endpoint is dead after protocol violation")
 
+// Descriptor Kind words carry two fields: the low 8 bits hold the kind
+// code (KindInline/KindShared/KindIndirect) and the high 24 bits hold the
+// epoch tag of the device incarnation that wrote the descriptor. Both
+// sides stamp the current epoch into everything they publish and treat a
+// mismatch as fatal, so a host that recorded descriptors before a
+// fail-dead cannot replay them into the reincarnated ring: the old bytes
+// carry the old tag. (The tag wraps at 2^24 incarnations; the recovery
+// death-budget makes that unreachable long before a wrap could matter.)
+
+// KindCode extracts the kind discriminator from a descriptor Kind word.
+func KindCode(k uint32) uint32 { return k & 0xFF }
+
+// KindEpoch extracts the epoch tag from a descriptor Kind word.
+func KindEpoch(k uint32) uint32 { return k >> 8 }
+
+// KindWord composes a Kind word from a kind code and a device epoch.
+func KindWord(code, epoch uint32) uint32 { return code&0xFF | EpochTag(epoch)<<8 }
+
+// EpochTag truncates an incarnation number to the 24-bit wire tag.
+func EpochTag(epoch uint32) uint32 { return epoch & 0xFFFFFF }
+
 // Indexes is the shared index pair of one SPSC ring. In hardware these
 // are two cache lines of the shared window; here they are atomics so the
 // two sides (separate goroutines) get the same publish/observe semantics

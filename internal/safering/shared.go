@@ -12,6 +12,14 @@ import (
 type Shared struct {
 	Cfg DeviceConfig
 
+	// Epoch is the device incarnation this window belongs to. The first
+	// incarnation is 0 (its wire tag is the bare kind code); every
+	// Reincarnate/Swap allocates a fresh window at the next epoch. Both
+	// sides stamp the epoch into every descriptor Kind word they publish
+	// and fatally reject mismatches, so descriptors recorded from an old
+	// incarnation cannot be replayed into a new one.
+	Epoch uint32
+
 	// TX: guest produces frame descriptors, host consumes.
 	TX *Ring
 	// RXUsed: host produces filled frame descriptors, guest consumes.
@@ -47,14 +55,14 @@ func indEntrySize(segments int) int {
 	return sz
 }
 
-// newShared allocates all shared state for a config. The meter is the
-// guest's: page sharing for the RX window is charged to the guest, which
-// owns the memory.
-func newShared(cfg DeviceConfig, meter *platform.Meter) (*Shared, error) {
+// newShared allocates all shared state for a config at the given device
+// epoch. The meter is the guest's: page sharing for the RX window is
+// charged to the guest, which owns the memory.
+func newShared(cfg DeviceConfig, meter *platform.Meter, epoch uint32) (*Shared, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sh := &Shared{Cfg: cfg}
+	sh := &Shared{Cfg: cfg, Epoch: epoch}
 
 	var err error
 	if sh.TX, err = NewRing(cfg.Slots, cfg.SlotSize); err != nil {

@@ -1,8 +1,10 @@
 package safering
 
-// Swap replaces the endpoint's device instance with a fresh one of
-// *identical* configuration, returning the new shared state for the new
-// host backend to attach to.
+import "fmt"
+
+// Swap replaces a *live* endpoint's device instance with a fresh one of
+// identical configuration at the next epoch, returning the new shared
+// state for the new host backend to attach to.
 //
 // This is the §3.2 migration story: because every parameter is fixed at
 // deployment (zero re-negotiation), replacing the device needs no
@@ -11,35 +13,14 @@ package safering
 // without downtime remains difficult as it introduces statefulness",
 // which is exactly why this interface refuses to provide it.
 //
-// Swap also revives an endpoint that died of a host protocol violation:
-// the sane response to a malicious device is to replace it, not to
-// resynchronize with it.
+// Swap refuses a dead endpoint: recovery from fail-dead must pass the
+// Reincarnate quarantine (backoff + death budget), otherwise Swap would
+// be a free reset oracle for a host that kills the device on purpose.
 func (e *Endpoint) Swap() (*Shared, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-
-	sh, err := newShared(e.sh.Cfg, e.meter)
-	if err != nil {
-		return nil, err
+	if e.deadLocked() {
+		return nil, fmt.Errorf("safering: swap refused, endpoint is dead (%w): recovery must pass the Reincarnate quarantine", e.dead)
 	}
-	e.sh = sh
-	e.dead = nil
-
-	// Reset all private protocol state. Un-reaped TX slabs belonged to
-	// the old arena and vanish with it.
-	e.txHead, e.txConsSeen, e.txFreed = 0, 0, 0
-	for i := range e.txHandles {
-		e.txHandles[i] = nil
-	}
-	e.rxTail, e.rxFreeHead, e.rxFreePub = 0, 0, 0
-	if e.slabHeld != nil {
-		for i := range e.slabHeld {
-			e.slabHeld[i] = false
-		}
-		for slab := 0; slab < e.sh.Cfg.Slots; slab++ {
-			e.stageSlabLocked(slab)
-		}
-		e.publishFreeLocked()
-	}
-	return sh, nil
+	return e.rebirthLocked()
 }

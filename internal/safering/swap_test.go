@@ -68,7 +68,11 @@ func TestSwapBasics(t *testing.T) {
 	rx.Release()
 }
 
-func TestSwapRevivesDeadEndpoint(t *testing.T) {
+// TestSwapRefusesDeadEndpoint: Swap is a live-migration primitive, not a
+// recovery oracle. A dead endpoint must be revived only through the
+// Reincarnate quarantine — letting Swap do it would give a malicious
+// host unlimited free resets.
+func TestSwapRefusesDeadEndpoint(t *testing.T) {
 	ep, err := safering.New(safering.DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -78,13 +82,25 @@ func TestSwapRevivesDeadEndpoint(t *testing.T) {
 	if err := ep.Send(make([]byte, 64)); !errors.Is(err, safering.ErrProtocol) {
 		t.Fatalf("setup: %v", err)
 	}
-	if _, err := ep.Swap(); err != nil {
+	if _, err := ep.Swap(); err == nil {
+		t.Fatal("swap revived a dead endpoint, bypassing the quarantine")
+	}
+	if ep.Dead() == nil {
+		t.Fatal("refused swap cleared the fatal state")
+	}
+	// The sanctioned path works: Reincarnate admits the recovery and the
+	// reborn device serves traffic at the next epoch.
+	sh, err := ep.Reincarnate()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if ep.Dead() != nil {
-		t.Fatal("swap did not clear the fatal state")
+		t.Fatal("reincarnation did not clear the fatal state")
 	}
-	hp := safering.NewHostPort(ep.Shared())
+	if ep.Epoch() != 1 {
+		t.Fatalf("epoch %d after reincarnation, want 1", ep.Epoch())
+	}
+	hp := safering.NewHostPort(sh)
 	if err := ep.Send(make([]byte, 64)); err != nil {
 		t.Fatalf("send after revival: %v", err)
 	}

@@ -1,0 +1,170 @@
+package safering
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStalled reports a host that stopped making progress while holding
+// obligations: the guest published transmit work, rang the doorbell, and
+// the host's consumer index stayed frozen past the configured deadline.
+// A stall is fatal (the device fail-deads with ErrStalled as the cause)
+// because a silently wedged host is indistinguishable from one sitting
+// on the ring to study it — and because the alternative is guest
+// goroutines blocked forever. Recovery, as for every death, is
+// Reincarnate under quarantine.
+//
+// Only the TX direction carries an obligation the guest can watch: a
+// quiet RXUsed ring is indistinguishable from a peer with no traffic to
+// deliver, so RX silence is never a stall. Availability remains
+// best-effort — the watchdog bounds *blocking*, not packet loss.
+var ErrStalled = errors.New("safering: host stalled (consumer index frozen with work pending)")
+
+// WatchdogConfig tunes the host-progress watchdog.
+type WatchdogConfig struct {
+	// Interval is the background scan period (Start's goroutine).
+	Interval time.Duration
+	// StallAfter is how long the TX consumer index may stay frozen with
+	// work pending before the host is declared stalled.
+	StallAfter time.Duration
+	// Clock supplies time for stall aging; nil means time.Now. The chaos
+	// harness injects a fake clock and drives Poll directly.
+	Clock func() time.Time
+}
+
+// DefaultWatchdogConfig returns conservative defaults: generous enough
+// that a merely-slow host on a loaded machine is never declared stalled.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		Interval:   50 * time.Millisecond,
+		StallAfter: 5 * time.Second,
+		Clock:      time.Now,
+	}
+}
+
+// wdState is the per-queue progress clock.
+type wdState struct {
+	lastCons  uint64    // consumer index at the previous scan
+	obliged   bool      // host currently owes progress (work pending)
+	obligedAt time.Time // when the current obligation started aging
+}
+
+// Watchdog watches one or more endpoints (the queues of one device, or
+// several devices) for host stalls. It reads only two values per queue —
+// the private txHead and the shared consumer index — and compares them
+// for equality, so it trusts nothing the host writes: a garbage index is
+// either "work pending" (ages toward a stall) or caught as a protocol
+// violation by the next real operation.
+type Watchdog struct {
+	cfg WatchdogConfig
+	eps []*Endpoint
+
+	mu     sync.Mutex
+	states []wdState
+	stalls uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewWatchdog builds a watchdog over the given endpoints without
+// starting the background scanner; callers either Start it or drive
+// Poll themselves (tests, the chaos harness).
+func NewWatchdog(cfg WatchdogConfig, eps ...*Endpoint) *Watchdog {
+	def := DefaultWatchdogConfig()
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = def.StallAfter
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Watchdog{
+		cfg:    cfg,
+		eps:    eps,
+		states: make([]wdState, len(eps)),
+		stop:   make(chan struct{}),
+	}
+}
+
+// WatchDevice builds a watchdog over every queue of a multi-queue
+// device. One stalled queue fail-deads the whole device through the
+// shared latch, exactly like any other violation.
+func WatchDevice(cfg WatchdogConfig, m *MultiEndpoint) *Watchdog {
+	return NewWatchdog(cfg, m.queues...)
+}
+
+// Start launches the background scanner. Stop joins it.
+func (w *Watchdog) Start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the background scanner and waits for it to exit. Safe to
+// call more than once, and safe without Start.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.wg.Wait()
+}
+
+// Stalls reports how many stalls this watchdog has declared.
+func (w *Watchdog) Stalls() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stalls
+}
+
+// Poll runs one scan over every watched queue, declaring a stall on any
+// queue whose host owes progress and whose consumer index has not moved
+// for StallAfter. Safe to call concurrently with datapath operations
+// and with the background scanner.
+func (w *Watchdog) Poll() {
+	now := w.cfg.Clock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, e := range w.eps {
+		st := &w.states[i]
+		e.mu.Lock()
+		if e.deadLocked() {
+			st.obliged = false
+			e.mu.Unlock()
+			continue
+		}
+		head := e.txHead
+		cons := e.sh.TX.Indexes().LoadCons() // equality-compared only: no trust needed
+		switch {
+		case cons == head:
+			// No obligation: the host consumed everything published.
+			st.obliged = false
+		case !st.obliged || cons != st.lastCons:
+			// New obligation, or the host made progress: restart the clock.
+			st.obliged, st.obligedAt = true, now
+		case now.Sub(st.obligedAt) >= w.cfg.StallAfter:
+			err := fmt.Errorf("%w: tx consumer frozen at %d (head %d) for %v",
+				ErrStalled, cons, head, now.Sub(st.obligedAt))
+			e.fail(err)
+			e.meter.Stall(1)
+			w.stalls++
+			st.obliged = false
+		}
+		st.lastCons = cons
+		e.mu.Unlock()
+	}
+}

@@ -189,6 +189,38 @@ func (e *Endpoint) Tick() {
 	e.flush(q)
 }
 
+// AbortAll tears down every connection and listener with err: the
+// transport under the stack died (fail-dead or declared host stall), so
+// no segment can ever be delivered or acknowledged again. Blocked
+// readers and writers wake with err, blocked Accepts return, and
+// in-flight send buffers are abandoned — TCP cannot out-retransmit a
+// dead NIC. No RSTs are emitted because there is no transport left to
+// carry them; the queued segment backlog is discarded for the same
+// reason.
+func (e *Endpoint) AbortAll(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	e.mu.Lock()
+	conns := make([]*Conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		c.teardownLocked(err)
+	}
+	for port, l := range e.listeners {
+		l.closed = true
+		delete(e.listeners, port)
+		close(l.backlog)
+		for c := range drainBacklog(l.backlog) {
+			c.teardownLocked(err)
+		}
+	}
+	e.pending = nil
+	e.mu.Unlock()
+}
+
 func (e *Endpoint) nextISNLocked() uint32 {
 	e.isn += 0x3779 + uint32(rand.Intn(1<<16))
 	return e.isn
