@@ -4,7 +4,7 @@ GO ?= go
 # cross-goroutine shared state (rings, slab pools, the core datapath).
 RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos
 
-.PHONY: all build test race vet ciovet fuzz fmt bench bench-mq chaos check
+.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq chaos check
 
 all: build
 
@@ -21,9 +21,16 @@ vet:
 	$(GO) vet ./...
 
 # ciovet runs the confio-specific analyzers (doublefetch, maskidx,
-# fatalviolation, sharedescape, latchclear); see DESIGN.md "Static analysis".
+# hosttaint, sharedatomic, fatalviolation, sharedescape, latchclear); see
+# DESIGN.md "Static analysis". The gate is two-sided: any unsuppressed
+# diagnostic fails, and the //ciovet:allow suppression multiset must match
+# the audited baseline exactly — new opt-outs and stale records both fail.
 ciovet:
-	$(GO) run ./cmd/ciovet ./...
+	$(GO) run ./cmd/ciovet -json -baseline ciovet_baseline.json ./...
+
+# After auditing a new (or removed) //ciovet:allow, re-record the baseline.
+vet-update-baseline:
+	$(GO) run ./cmd/ciovet -baseline ciovet_baseline.json -update ./...
 
 # Short adversarial fuzzing pass over the descriptor decode path.
 fuzz:

@@ -2,27 +2,79 @@
 // the module, multichecker-style. It exits non-zero when any unsuppressed
 // diagnostic remains, which makes it a CI gate:
 //
-//	go run ./cmd/ciovet ./...
+//	go run ./cmd/ciovet -json -baseline ciovet_baseline.json ./...
 //
 // Deliberate violations (attack harness, legacy unsafe baselines) opt out
 // loudly with `//ciovet:allow <rule> <reason>` on or above the flagged line;
-// -v lists every suppression so opt-outs stay auditable.
+// -v lists every suppression so opt-outs stay auditable. With -baseline,
+// the current suppression multiset must match the checked-in file exactly —
+// both new opt-outs and stale records fail the gate — and -update rewrites
+// the file after an audit.
+//
+// Output is sorted by source position, so runs are byte-for-byte
+// reproducible; -json emits one finding per line for tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"sort"
 
 	"confio/internal/analysis"
 )
 
+// finding is one diagnostic resolved to a concrete position, the unit of
+// sorted text and JSON output.
+type finding struct {
+	Pos     string `json:"-"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Suppressed findings appear only under -v / in suppression listings.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func toFinding(fset *token.FileSet, d analysis.Diagnostic) finding {
+	p := fset.Position(d.Pos)
+	return finding{
+		Pos: p.String(), File: p.Filename, Line: p.Line, Col: p.Column,
+		Rule: d.Rule, Message: d.Message,
+	}
+}
+
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "also list suppressed diagnostics (//ciovet:allow opt-outs)")
 	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	baselinePath := flag.String("baseline", "", "baseline file of audited suppressions; the current multiset must match it exactly")
+	update := flag.Bool("update", false, "rewrite the -baseline file from the current suppressions instead of checking")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [-json] [-baseline file [-update]] [packages]\n\n"+
 			"Mechanically enforces the paper's trust-boundary hardening rules.\n\n")
 		flag.PrintDefaults()
 	}
@@ -46,37 +98,95 @@ func main() {
 		os.Exit(2)
 	}
 
-	var diags []analysis.Diagnostic
-	var suppressed []analysis.Suppression
-	var fsetOf = map[string]*analysis.Package{}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciovet:", err)
+		os.Exit(2)
+	}
+
+	var diags []finding
+	var suppressed []finding
+	var entries []analysis.BaselineEntry
 	for _, pkg := range pkgs {
 		res, err := analysis.Run(pkg, suite)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ciovet:", err)
 			os.Exit(2)
 		}
-		for range res.Diagnostics {
-			fsetOf[pkg.Path] = pkg
+		for _, d := range res.Diagnostics {
+			diags = append(diags, toFinding(pkg.Fset, d))
 		}
-		for i := range res.Diagnostics {
-			d := res.Diagnostics[i]
-			diags = append(diags, d)
-			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+		for _, s := range res.Suppressed {
+			f := toFinding(pkg.Fset, s.Diagnostic)
+			f.Suppressed = true
+			f.Reason = s.Reason
+			suppressed = append(suppressed, f)
+			entries = append(entries, analysis.SuppressionEntry(pkg.Fset, root, s))
 		}
-		suppressed = append(suppressed, res.Suppressed...)
-		if *verbose {
-			for _, s := range res.Suppressed {
-				fmt.Printf("%s: [%s] suppressed: %s (reason: %s)\n",
-					pkg.Fset.Position(s.Pos), s.Rule, s.Message, s.Reason)
+	}
+	sortFindings(diags)
+	sortFindings(suppressed)
+
+	emit := func(f finding) {
+		if *jsonOut {
+			b, err := json.Marshal(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ciovet:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(b))
+			return
+		}
+		if f.Suppressed {
+			fmt.Printf("%s: [%s] suppressed: %s (reason: %s)\n", f.Pos, f.Rule, f.Message, f.Reason)
+			return
+		}
+		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Rule, f.Message)
+	}
+	for _, f := range diags {
+		emit(f)
+	}
+	if *verbose {
+		for _, f := range suppressed {
+			emit(f)
+		}
+	}
+
+	exit := 0
+	if *baselinePath != "" {
+		if *update {
+			if err := analysis.WriteBaseline(*baselinePath, entries); err != nil {
+				fmt.Fprintln(os.Stderr, "ciovet:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "ciovet: wrote %d audited suppression(s) to %s\n", len(entries), *baselinePath)
+		} else {
+			recorded, err := analysis.LoadBaseline(*baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ciovet:", err)
+				os.Exit(2)
+			}
+			missing, stale := analysis.DiffBaseline(entries, recorded)
+			for _, e := range missing {
+				fmt.Fprintf(os.Stderr, "ciovet: unaudited suppression not in baseline: %s [%s] %s (reason: %s)\n",
+					e.File, e.Rule, e.Message, e.Reason)
+			}
+			for _, e := range stale {
+				fmt.Fprintf(os.Stderr, "ciovet: stale baseline entry (suppression no longer present): %s [%s] %s\n",
+					e.File, e.Rule, e.Message)
+			}
+			if len(missing)+len(stale) > 0 {
+				fmt.Fprintf(os.Stderr, "ciovet: baseline drift; audit and run `make vet-update-baseline`\n")
+				exit = 1
 			}
 		}
 	}
 
-	byRule := map[string]int{}
-	for _, d := range diags {
-		byRule[d.Rule]++
-	}
 	if len(diags) > 0 {
+		byRule := map[string]int{}
+		for _, d := range diags {
+			byRule[d.Rule]++
+		}
 		var rules []string
 		for r := range byRule {
 			rules = append(rules, r)
@@ -89,7 +199,10 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
-	if *verbose || len(suppressed) > 0 {
+	if exit != 0 {
+		os.Exit(exit)
+	}
+	if !*jsonOut {
 		fmt.Printf("ciovet: clean (%d analyzer(s), %d package(s), %d suppression(s))\n",
 			len(suite), len(pkgs), len(suppressed))
 	}

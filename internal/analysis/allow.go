@@ -70,6 +70,51 @@ func (ix allowIndex) add(d allowDirective) {
 	byLine[d.line] = append(byLine[d.line], d)
 }
 
+// sanitizedIndex records the source lines carrying a //ciovet:sanitized
+// directive. Unlike //ciovet:allow — which silences one diagnostic —
+// sanitized declares a *value* trustworthy at its definition: the taint
+// analysis treats assignments on a marked line (and the function whose
+// declaration is marked) as producing validated values, so every
+// downstream use is clean. The optional trailing text is a free-form
+// justification kept in the source.
+type sanitizedIndex map[string]map[int]bool
+
+const sanitizedPrefix = "//ciovet:sanitized"
+
+// buildSanitizedIndex scans comments for //ciovet:sanitized directives,
+// marking the directive's own line and the following line (trailing and
+// standalone placements, like //ciovet:allow).
+func buildSanitizedIndex(fset *token.FileSet, files []*ast.File) sanitizedIndex {
+	idx := make(sanitizedIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, sanitizedPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]bool)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = true
+				byLine[pos.Line+1] = true
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether pos sits on a sanitized-marked line.
+func (ix sanitizedIndex) covers(fset *token.FileSet, pos token.Pos) bool {
+	if ix == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return ix[p.Filename][p.Line]
+}
+
 // match reports whether a diagnostic for rule at pos is suppressed, and the
 // recorded reason. The rule "*" in a directive matches every rule.
 func (ix allowIndex) match(fset *token.FileSet, pos token.Pos, rule string) (string, bool) {

@@ -123,6 +123,8 @@ func Suite() []*Analyzer {
 	return []*Analyzer{
 		DoubleFetchAnalyzer,
 		MaskIdxAnalyzer,
+		HostTaintAnalyzer,
+		SharedAtomicAnalyzer,
 		FatalViolationAnalyzer,
 		SharedEscapeAnalyzer,
 		LatchClearAnalyzer,

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one audited suppression in the checked-in baseline.
+// The baseline pins the exact multiset of //ciovet:allow opt-outs: a new
+// suppression (someone silenced a rule) and a stale entry (the code it
+// covered is gone) both fail the gate, so every change to the opt-out
+// surface goes through an explicit `make vet-update-baseline` with review.
+//
+// Positions are keyed by module-root-relative file (not line numbers), so
+// unrelated edits that shift lines don't churn the baseline; two identical
+// opt-outs in one file are distinguished by multiplicity.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Reason  string `json:"reason"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.File + "\x00" + e.Rule + "\x00" + e.Message + "\x00" + e.Reason
+}
+
+// SuppressionEntry converts one runtime suppression into its baseline form,
+// with the file path made relative to the module root.
+func SuppressionEntry(fset *token.FileSet, root string, s Suppression) BaselineEntry {
+	p := fset.Position(s.Pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return BaselineEntry{File: file, Rule: s.Rule, Message: s.Message, Reason: s.Reason}
+}
+
+// SortBaseline orders entries deterministically for stable files and diffs.
+func SortBaseline(entries []BaselineEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key() < entries[j].key() })
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries).
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes entries sorted, one readable object per entry.
+func WriteBaseline(path string, entries []BaselineEntry) error {
+	SortBaseline(entries)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DiffBaseline compares the current suppression multiset against the
+// recorded one. missing are current suppressions absent from the baseline
+// (new opt-outs needing audit); stale are baseline entries with no current
+// suppression (dead records to prune).
+func DiffBaseline(current, recorded []BaselineEntry) (missing, stale []BaselineEntry) {
+	counts := make(map[string]int)
+	byKey := make(map[string]BaselineEntry)
+	for _, e := range recorded {
+		counts[e.key()]++
+		byKey[e.key()] = e
+	}
+	for _, e := range current {
+		if counts[e.key()] > 0 {
+			counts[e.key()]--
+			continue
+		}
+		missing = append(missing, e)
+	}
+	for k, n := range counts {
+		for i := 0; i < n; i++ {
+			stale = append(stale, byKey[k])
+		}
+	}
+	SortBaseline(missing)
+	SortBaseline(stale)
+	return missing, stale
+}

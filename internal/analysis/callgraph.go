@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// htFunc is one function declared with a body in the analyzed package,
+// as seen by the interprocedural taint analysis. The receiver (when
+// present) occupies parameter slot 0 so method calls and plain calls
+// share one argument-alignment scheme.
+type htFunc struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	params  []types.Object // receiver first; nil for unnamed/blank slots
+	results []types.Object // named result objects; nil for unnamed
+}
+
+// paramIndex returns the slot of o in f's parameter list, or -1.
+func (f *htFunc) paramIndex(o types.Object) int {
+	for i, p := range f.params {
+		if p != nil && p == o {
+			return i
+		}
+	}
+	return -1
+}
+
+// numResults returns the declared result count.
+func (f *htFunc) numResults() int {
+	if f.decl.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, fld := range f.decl.Type.Results.List {
+		if len(fld.Names) == 0 {
+			n++
+		} else {
+			n += len(fld.Names)
+		}
+	}
+	return n
+}
+
+// collectFuncs gathers every declared function/method with a body,
+// keyed by its types.Func, in stable source order.
+func collectFuncs(pass *Pass) (map[*types.Func]*htFunc, []*htFunc) {
+	byObj := make(map[*types.Func]*htFunc)
+	var ordered []*htFunc
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			hf := &htFunc{decl: fd, obj: fn}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				names := fd.Recv.List[0].Names
+				if len(names) > 0 {
+					hf.params = append(hf.params, defObj(pass.TypesInfo, names[0]))
+				} else {
+					hf.params = append(hf.params, nil)
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, fld := range fd.Type.Params.List {
+					if len(fld.Names) == 0 {
+						hf.params = append(hf.params, nil)
+						continue
+					}
+					for _, nm := range fld.Names {
+						hf.params = append(hf.params, defObj(pass.TypesInfo, nm))
+					}
+				}
+			}
+			if fd.Type.Results != nil {
+				for _, fld := range fd.Type.Results.List {
+					if len(fld.Names) == 0 {
+						hf.results = append(hf.results, nil)
+						continue
+					}
+					for _, nm := range fld.Names {
+						hf.results = append(hf.results, defObj(pass.TypesInfo, nm))
+					}
+				}
+			}
+			byObj[fn] = hf
+			ordered = append(ordered, hf)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].decl.Pos() < ordered[j].decl.Pos() })
+	return byObj, ordered
+}
+
+func defObj(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	return info.Defs[id]
+}
+
+// resolveCall statically resolves a call expression to a function declared
+// in this package, returning its htFunc and the argument expressions
+// aligned to its parameter slots (receiver expression first for method
+// calls). Dynamic calls — interface methods, function values, method
+// expressions, out-of-package callees — return nil: the analysis has no
+// summary for them and stays conservative.
+func resolveCall(info *types.Info, fns map[*types.Func]*htFunc, call *ast.CallExpr) (*htFunc, []ast.Expr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if hf := fns[fn]; hf != nil {
+				return hf, call.Args
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil, nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, nil
+			}
+			if hf := fns[fn]; hf != nil {
+				args := make([]ast.Expr, 0, len(call.Args)+1)
+				args = append(args, fun.X)
+				args = append(args, call.Args...)
+				return hf, args
+			}
+			return nil, nil
+		}
+		// Package-qualified call (pkg.F): out of package by definition.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if hf := fns[fn]; hf != nil {
+				return hf, call.Args
+			}
+		}
+	}
+	return nil, nil
+}

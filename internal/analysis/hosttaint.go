@@ -1,0 +1,864 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HostTaintAnalyzer is the interprocedural companion to maskidx: the
+// paper's Figures 2-4 show that most paravirtual-driver CVEs are missed
+// validation of host-controlled values, and the real instances cross
+// function boundaries — a length read from the shared window in one
+// function flows into a slice expression three calls away, where the
+// intra-procedural rules (which require the fetch and the unsafe use in
+// one function) cannot see it.
+//
+// The analysis is summary-based and runs in two phases over the call
+// graph of the package under analysis. Phase one computes, per function,
+// a taint summary to a fixpoint: which results carry host taint
+// unconditionally (the body loads them from shmem.Region / ring windows /
+// peer indexes), which results are tainted when a given parameter is, and
+// which parameters reach a dangerous sink — slice/array indexing, slice
+// bounds, allocation sizes, Region.Slice lengths, loop bounds, unsafe
+// conversions — without first passing a sanitizer. Phase two re-walks
+// every function with the final summaries and reports two flow shapes the
+// intra-procedural rules miss: a value returned tainted by a callee
+// reaching a local sink, and a host-controlled argument passed to a
+// parameter that (transitively) reaches a sink in the callee.
+//
+// Sanitizers are the same idioms maskidx honors — masking (&, %, >>, &^),
+// terminating bounds guards, for-loop upper-bound conditions, min/max
+// capping — plus the explicit //ciovet:sanitized annotation, which marks
+// the values assigned on a line (or every result of an annotated
+// function) as audited-clean at the definition.
+//
+// Division of labor: a source used unsafely in the *same* function is
+// maskidx's finding; hosttaint stays silent there and reports only flows
+// that crossed a function boundary, so the two rules never double-report.
+// Loop-bound and unsafe-conversion sinks are new with this rule and are
+// reported for local flows too. Calls that cannot be resolved statically
+// (interface methods, function values, out-of-package callees) are
+// treated as clean — cross-package flows are still caught because the
+// shared-memory accessors are matched structurally in every package.
+var HostTaintAnalyzer = &Analyzer{
+	Name: "hosttaint",
+	Doc: "interprocedural host-taint dataflow: flags shared-memory values that cross " +
+		"function boundaries into indexing, allocation, loop-bound, or unsafe sinks unsanitized",
+	Run: runHostTaint,
+}
+
+// paramBits is a set of parameter slots (receiver = slot 0 on methods).
+// Parameters beyond 64 are untracked — no function here comes close.
+type paramBits uint64
+
+const maxTrackedParams = 64
+
+func paramBit(i int) paramBits {
+	if i < 0 || i >= maxTrackedParams {
+		return 0
+	}
+	return paramBits(1) << uint(i)
+}
+
+// tval is the abstract taint of an expression.
+type tval struct {
+	src    bool      // host-controlled, fetched in this function (maskidx's jurisdiction)
+	inter  bool      // host-controlled, crossed a function boundary to get here
+	via    string    // callee the taint crossed through, for diagnostics
+	params paramBits // tainted iff one of these caller parameters is
+}
+
+func (t tval) concrete() bool { return t.src || t.inter }
+
+func unionT(a, b tval) tval {
+	out := tval{
+		src:    a.src || b.src,
+		inter:  a.inter || b.inter,
+		via:    a.via,
+		params: a.params | b.params,
+	}
+	if out.via == "" {
+		out.via = b.via
+	}
+	return out
+}
+
+// taintSummary is one function's interprocedural contract.
+type taintSummary struct {
+	retTainted []bool         // result r is host-tainted regardless of arguments
+	retFrom    []paramBits    // result r is tainted when any of these params is
+	paramSink  map[int]string // param slot -> what the unsanitized sink does
+	// paramChecked marks parameters the function compares in a terminating
+	// guard — the shape of a factored-out validator like checkPeerCons. A
+	// caller that fail-dead-checks such a call's error result gets the
+	// checked arguments credited as validated.
+	paramChecked paramBits
+	sanitizedFn  bool // //ciovet:sanitized on the declaration: audited clean
+}
+
+func newSummary(hf *htFunc, sanitized sanitizedIndex, fset *token.FileSet) *taintSummary {
+	n := hf.numResults()
+	return &taintSummary{
+		retTainted:  make([]bool, n),
+		retFrom:     make([]paramBits, n),
+		paramSink:   make(map[int]string),
+		sanitizedFn: sanitized.covers(fset, hf.decl.Pos()),
+	}
+}
+
+// htState is the package-wide analysis state shared by both phases.
+type htState struct {
+	pass      *Pass
+	fns       map[*types.Func]*htFunc
+	ordered   []*htFunc
+	sums      map[*htFunc]*taintSummary
+	sanitized sanitizedIndex
+	changed   bool
+	report    bool
+}
+
+func runHostTaint(pass *Pass) error {
+	st := &htState{
+		pass:      pass,
+		sanitized: buildSanitizedIndex(pass.Fset, pass.Files),
+	}
+	st.fns, st.ordered = collectFuncs(pass)
+	st.sums = make(map[*htFunc]*taintSummary, len(st.ordered))
+	for _, hf := range st.ordered {
+		st.sums[hf] = newSummary(hf, st.sanitized, pass.Fset)
+	}
+
+	// Phase one: grow summaries to a fixpoint. The lattice per function is
+	// finite (result bits, param bits, one sink note per param) and only
+	// ever grows, so this terminates; the iteration cap is a backstop.
+	for iter := 0; iter < 64; iter++ {
+		st.changed = false
+		for _, hf := range st.ordered {
+			st.analyzeFunc(hf)
+		}
+		if !st.changed {
+			break
+		}
+	}
+
+	// Phase two: report with final summaries.
+	st.report = true
+	for _, hf := range st.ordered {
+		st.analyzeFunc(hf)
+	}
+	return nil
+}
+
+// htScope is the per-function evaluation state.
+type htScope struct {
+	st        *htState
+	fn        *htFunc
+	sum       *taintSummary
+	vars      map[types.Object]tval
+	validated map[vkey][]span
+}
+
+func (st *htState) analyzeFunc(hf *htFunc) {
+	sum := st.sums[hf]
+	if sum.sanitizedFn {
+		return
+	}
+	sc := &htScope{
+		st:        st,
+		fn:        hf,
+		sum:       sum,
+		vars:      make(map[types.Object]tval),
+		validated: make(map[vkey][]span),
+	}
+	sc.walkBody(hf.decl.Body)
+}
+
+func (sc *htScope) info() *types.Info { return sc.st.pass.TypesInfo }
+
+func (sc *htScope) obj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := sc.info().Uses[id]; o != nil {
+		return o
+	}
+	return sc.info().Defs[id]
+}
+
+func (sc *htScope) isValidated(key vkey, pos token.Pos) bool {
+	for _, s := range sc.validated[key] {
+		if s.covers(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBody drives the source-order statement walk.
+func (sc *htScope) walkBody(body *ast.BlockStmt) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+			return false // closures are separate, unsummarized functions
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(stack) > 0 {
+				if f, ok := stack[len(stack)-1].(*ast.ForStmt); ok && f.Init == ast.Stmt(st) {
+					break // handled when the ForStmt itself was visited
+				}
+			}
+			sc.assignStmt(st)
+		case *ast.ValueSpec:
+			sc.valueSpec(st)
+		case *ast.IfStmt:
+			sc.guard(st.Cond, st.Body)
+			sc.checkerGuard(st)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				cc := c.(*ast.CaseClause)
+				guardBody := &ast.BlockStmt{List: cc.Body}
+				for _, cond := range cc.List {
+					sc.guard(cond, guardBody)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				sc.assignStmt(init)
+			}
+			sc.forGuardAndSink(st)
+		case *ast.RangeStmt:
+			sc.rangeStmt(st)
+		case *ast.ReturnStmt:
+			sc.returnStmt(st)
+		case *ast.IndexExpr:
+			if indexableSink(sc.info(), st.X) {
+				t := sc.eval(st.Index, st.Pos())
+				sc.sink(st.Index.Pos(), t, "indexes "+exprString(sc.st.pass.Fset, st.X), false)
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{st.Low, st.High, st.Max} {
+				if b != nil {
+					t := sc.eval(b, st.Pos())
+					sc.sink(b.Pos(), t, "bounds a slice of "+exprString(sc.st.pass.Fset, st.X), false)
+				}
+			}
+		case *ast.CallExpr:
+			sc.callStmt(st)
+		}
+		return true
+	})
+}
+
+// sink handles taint arriving at a dangerous use: parameter taint goes
+// into the summary; concrete taint that crossed a function boundary is
+// reported in phase two. localToo widens reporting to same-function
+// flows, for the sink kinds maskidx has no rule for.
+func (sc *htScope) sink(pos token.Pos, t tval, desc string, localToo bool) {
+	if t.params != 0 {
+		sc.recordParamSink(t.params, desc)
+	}
+	if !sc.st.report {
+		return
+	}
+	if t.inter || (localToo && t.src) {
+		sc.st.pass.Reportf(pos, "host-controlled value%s %s without mask or bounds check on this path; "+
+			"validate and fail-dead, mask it, or audit with //ciovet:sanitized (hosttaint)", viaClause(t), desc)
+	}
+}
+
+func viaClause(t tval) string {
+	if t.via != "" {
+		return " (via " + t.via + ")"
+	}
+	return ""
+}
+
+func (sc *htScope) recordParamSink(bits paramBits, desc string) {
+	if len(desc) > 160 {
+		desc = desc[:157] + "..."
+	}
+	for i := 0; i < len(sc.fn.params) && i < maxTrackedParams; i++ {
+		if bits&paramBit(i) == 0 {
+			continue
+		}
+		if _, ok := sc.sum.paramSink[i]; !ok {
+			sc.sum.paramSink[i] = desc
+			sc.st.changed = true
+		}
+	}
+}
+
+// assign records the abstract value of one variable, dropping stale
+// validation exactly as maskidx does on re-assignment.
+func (sc *htScope) assign(o types.Object, t tval) {
+	if o == nil {
+		return
+	}
+	sc.vars[o] = t
+	for k := range sc.validated {
+		if k.obj == o {
+			delete(sc.validated, k)
+		}
+	}
+}
+
+func (sc *htScope) assignStmt(st *ast.AssignStmt) {
+	if sc.st.sanitized.covers(sc.st.pass.Fset, st.Pos()) {
+		for _, l := range st.Lhs {
+			sc.assign(sc.obj(l), tval{})
+		}
+		return
+	}
+	switch st.Tok {
+	case token.AND_ASSIGN, token.REM_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		for _, l := range st.Lhs {
+			sc.assign(sc.obj(l), tval{})
+		}
+		return
+	}
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		ts := sc.evalMulti(st.Rhs[0], st.Pos(), len(st.Lhs))
+		for i, l := range st.Lhs {
+			sc.assignTo(l, ts[i], st.Tok)
+		}
+		return
+	}
+	for i, l := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		sc.assignTo(l, sc.eval(st.Rhs[i], st.Pos()), st.Tok)
+	}
+}
+
+// assignTo writes t through an lvalue. Writes through a selector or index
+// taint the base object field-insensitively: `d.Len = region.U32(off)`
+// makes the snapshot d a tainted value when it is later returned whole.
+func (sc *htScope) assignTo(l ast.Expr, t tval, tok token.Token) {
+	switch lv := l.(type) {
+	case *ast.Ident:
+		o := sc.obj(lv)
+		if o == nil {
+			return
+		}
+		switch tok {
+		case token.ASSIGN, token.DEFINE:
+			sc.assign(o, t)
+		default: // op=: both old and new value contribute
+			old := sc.lookup(o, l.Pos())
+			sc.assign(o, unionT(old, t))
+		}
+	case *ast.SelectorExpr:
+		if base := sc.obj(lv.X); base != nil {
+			old := sc.lookup(base, l.Pos())
+			sc.vars[base] = unionT(old, t)
+		}
+	case *ast.IndexExpr:
+		if base := sc.obj(lv.X); base != nil {
+			old := sc.lookup(base, l.Pos())
+			sc.vars[base] = unionT(old, t)
+		}
+	case *ast.StarExpr, *ast.ParenExpr:
+		// Writes through pointers are not tracked.
+	}
+}
+
+func (sc *htScope) valueSpec(st *ast.ValueSpec) {
+	if sc.st.sanitized.covers(sc.st.pass.Fset, st.Pos()) {
+		for _, id := range st.Names {
+			sc.assign(sc.obj(id), tval{})
+		}
+		return
+	}
+	if len(st.Names) > 1 && len(st.Values) == 1 {
+		ts := sc.evalMulti(st.Values[0], st.Pos(), len(st.Names))
+		for i, id := range st.Names {
+			sc.assign(sc.obj(id), ts[i])
+		}
+		return
+	}
+	for i, id := range st.Names {
+		var t tval
+		if i < len(st.Values) {
+			t = sc.eval(st.Values[i], st.Pos())
+		}
+		sc.assign(sc.obj(id), t)
+	}
+}
+
+// lookup resolves the current abstract value of an object: an assigned
+// local, or a parameter of the function under analysis.
+func (sc *htScope) lookup(o types.Object, pos token.Pos) tval {
+	if o == nil {
+		return tval{}
+	}
+	if sc.isValidated(vkey{o, ""}, pos) {
+		return tval{}
+	}
+	if t, ok := sc.vars[o]; ok {
+		return t
+	}
+	if i := sc.fn.paramIndex(o); i >= 0 {
+		return tval{params: paramBit(i)}
+	}
+	return tval{}
+}
+
+// guard mirrors maskidx's if-guard: comparisons whose guarded body
+// terminates validate the quantities they mention for the rest of the
+// function.
+func (sc *htScope) guard(cond ast.Expr, body *ast.BlockStmt) {
+	if cond == nil || !terminates(body) {
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LAND, token.LOR:
+				walk(x.X)
+				walk(x.Y)
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				sc.markValidated(x.X, span{from: x.End(), until: token.NoPos})
+				sc.markValidated(x.Y, span{from: x.End(), until: token.NoPos})
+				sc.recordCheckedParams(x.X)
+				sc.recordCheckedParams(x.Y)
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		}
+	}
+	walk(cond)
+}
+
+// recordCheckedParams notes in the summary every parameter of the current
+// function that e (one side of a terminating-guard comparison) mentions:
+// the function is acting as a validator for those parameters.
+func (sc *htScope) recordCheckedParams(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if i := sc.fn.paramIndex(sc.obj(id)); i >= 0 {
+			if bit := paramBit(i); sc.sum.paramChecked&bit == 0 {
+				sc.sum.paramChecked |= bit
+				sc.st.changed = true
+			}
+		}
+		return true
+	})
+}
+
+// checkerGuard credits the fail-dead validator-call idiom:
+//
+//	if err := ring.checkPeerCons(cons, ...); err != nil { return fail }
+//
+// When the guarded body terminates and the callee's summary says it
+// bounds-checks a parameter in a terminating guard of its own, the
+// argument passed in that slot counts as validated from here on.
+func (sc *htScope) checkerGuard(st *ast.IfStmt) {
+	if !terminates(st.Body) {
+		return
+	}
+	init, ok := st.Init.(*ast.AssignStmt)
+	if !ok || len(init.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(init.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	// The condition must actually test a value bound by the init —
+	// the `err != nil` (or `!ok`) shape.
+	condTestsInit := false
+	ast.Inspect(st.Cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := sc.obj(id)
+		for _, l := range init.Lhs {
+			if o != nil && o == sc.obj(l) {
+				condTestsInit = true
+			}
+		}
+		return true
+	})
+	if !condTestsInit {
+		return
+	}
+	hf2, args := resolveCall(sc.info(), sc.st.fns, call)
+	if hf2 == nil {
+		return
+	}
+	sum2 := sc.st.sums[hf2]
+	if sum2 == nil {
+		return
+	}
+	for i, arg := range args {
+		if i < len(hf2.params) && sum2.paramChecked&paramBit(i) != 0 {
+			sc.markValidated(arg, span{from: st.Cond.End(), until: token.NoPos})
+		}
+	}
+}
+
+// forGuardAndSink treats the loop condition both as a guard for body uses
+// (upper-bounded side only, window closing at loop end — same semantics
+// as maskidx) and as the loop-bound sink: a host-controlled limit spins
+// the loop an attacker-chosen number of iterations.
+func (sc *htScope) forGuardAndSink(st *ast.ForStmt) {
+	if st.Cond == nil {
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LAND:
+				walk(x.X)
+				walk(x.Y)
+			case token.LSS, token.LEQ:
+				t := sc.eval(x.Y, x.Y.Pos())
+				sc.sink(x.Y.Pos(), t, "bounds a loop", true)
+				sc.markValidated(x.X, span{from: x.End(), until: st.End()})
+			case token.GTR, token.GEQ:
+				t := sc.eval(x.X, x.X.Pos())
+				sc.sink(x.X.Pos(), t, "bounds a loop", true)
+				sc.markValidated(x.Y, span{from: x.End(), until: st.End()})
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		}
+	}
+	walk(st.Cond)
+}
+
+// markValidated marks every variable and host-controlled snapshot field
+// mentioned in e as validated within sp. Unlike maskidx's variant it
+// marks untainted identifiers too: parameter taint is implicit, so there
+// is no taint set to filter on. Spurious entries are harmless — the map
+// is only consulted for tainted values.
+func (sc *htScope) markValidated(e ast.Expr, sp span) {
+	var walk func(n ast.Expr)
+	walk = func(n ast.Expr) {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if o := sc.obj(id); o != nil {
+					k := vkey{o, x.Sel.Name}
+					sc.validated[k] = append(sc.validated[k], sp)
+				}
+			}
+			walk(x.X)
+		case *ast.Ident:
+			if o := sc.obj(x); o != nil {
+				k := vkey{o, ""}
+				sc.validated[k] = append(sc.validated[k], sp)
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ast.IndexExpr:
+			walk(x.X)
+			walk(x.Index)
+		}
+	}
+	walk(e)
+}
+
+func (sc *htScope) rangeStmt(st *ast.RangeStmt) {
+	t := sc.eval(st.X, st.Pos())
+	// Range over a host-chosen integer is a host-bounded loop, and the
+	// key runs up to the host's value.
+	intRange := false
+	if tv, ok := sc.info().Types[st.X]; ok && tv.Type != nil {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			intRange = true
+		}
+	}
+	if intRange {
+		sc.sink(st.X.Pos(), t, "bounds a loop", true)
+	}
+	keyT := tval{}
+	if intRange {
+		keyT = t
+	}
+	if st.Key != nil {
+		sc.assign(sc.obj(st.Key), keyT)
+	}
+	if st.Value != nil {
+		sc.assign(sc.obj(st.Value), t)
+	}
+}
+
+func (sc *htScope) returnStmt(st *ast.ReturnStmt) {
+	record := func(i int, t tval) {
+		if i >= len(sc.sum.retTainted) {
+			return
+		}
+		if t.concrete() && !sc.sum.retTainted[i] {
+			sc.sum.retTainted[i] = true
+			sc.st.changed = true
+		}
+		if t.params&^sc.sum.retFrom[i] != 0 {
+			sc.sum.retFrom[i] |= t.params
+			sc.st.changed = true
+		}
+	}
+	nres := len(sc.sum.retTainted)
+	switch {
+	case len(st.Results) == 0: // bare return: named results
+		for i, ro := range sc.fn.results {
+			if ro != nil {
+				record(i, sc.lookup(ro, st.Pos()))
+			}
+		}
+	case len(st.Results) == 1 && nres > 1: // return f()
+		ts := sc.evalMulti(st.Results[0], st.Pos(), nres)
+		for i, t := range ts {
+			record(i, t)
+		}
+	default:
+		for i, e := range st.Results {
+			record(i, sc.eval(e, st.Pos()))
+		}
+	}
+}
+
+// callStmt applies the call-shaped sinks to one call expression: unsafe
+// conversions, allocation sizes, Region.Slice lengths, and — the
+// interprocedural case — arguments flowing into parameters the callee's
+// summary says reach a sink.
+func (sc *htScope) callStmt(call *ast.CallExpr) {
+	info := sc.info()
+	// Conversion to unsafe.Pointer or uintptr.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isUnsafeTarget(tv.Type) {
+			t := sc.eval(call.Args[0], call.Pos())
+			sc.sink(call.Args[0].Pos(), t, "reaches an unsafe conversion", true)
+		}
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+		for _, sz := range call.Args[1:] {
+			t := sc.eval(sz, call.Pos())
+			sc.sink(sz.Pos(), t, "sizes an allocation", false)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Slice" && len(call.Args) == 2 {
+		if si, ok := info.Selections[sel]; ok && si.Kind() == types.MethodVal && typeIs(si.Recv(), "shmem", "Region") {
+			t := sc.eval(call.Args[1], call.Pos())
+			sc.sink(call.Args[1].Pos(), t, "reaches Region.Slice, which panics on wrap", false)
+		}
+	}
+	hf2, args := resolveCall(info, sc.st.fns, call)
+	if hf2 == nil {
+		return
+	}
+	sum2 := sc.st.sums[hf2]
+	if sum2 == nil || sum2.sanitizedFn {
+		return
+	}
+	for i, arg := range args {
+		pi := i
+		if pi >= len(hf2.params) {
+			pi = len(hf2.params) - 1 // variadic tail
+		}
+		desc, ok := sum2.paramSink[pi]
+		if !ok {
+			continue
+		}
+		t := sc.eval(arg, arg.Pos())
+		if t.params != 0 {
+			sc.recordParamSink(t.params, "hands it to "+hf2.obj.Name()+", which "+desc)
+		}
+		if sc.st.report && t.concrete() {
+			sc.st.pass.Reportf(arg.Pos(),
+				"host-controlled value%s passed to parameter %q of %s, which %s without revalidation; "+
+					"validate or mask it before the call (hosttaint)",
+				viaClause(t), paramName(hf2, pi), hf2.obj.Name(), desc)
+		}
+	}
+}
+
+func paramName(hf *htFunc, i int) string {
+	if i >= 0 && i < len(hf.params) && hf.params[i] != nil {
+		return hf.params[i].Name()
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+func isUnsafeTarget(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.Uintptr
+	}
+	return false
+}
+
+// eval computes the abstract taint of one expression at pos.
+func (sc *htScope) eval(e ast.Expr, pos token.Pos) tval {
+	switch x := e.(type) {
+	case nil:
+		return tval{}
+	case *ast.Ident:
+		return sc.lookup(sc.obj(x), pos)
+	case *ast.ParenExpr:
+		return sc.eval(x.X, pos)
+	case *ast.UnaryExpr:
+		return sc.eval(x.X, pos)
+	case *ast.StarExpr:
+		return sc.eval(x.X, pos)
+	case *ast.TypeAssertExpr:
+		return sc.eval(x.X, pos)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AND, token.REM, token.AND_NOT, token.SHR:
+			return tval{} // masked / reduced: bounded by construction
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return tval{} // booleans carry no index taint
+		}
+		return unionT(sc.eval(x.X, pos), sc.eval(x.Y, pos))
+	case *ast.SelectorExpr:
+		if hostSource(sc.info(), x) {
+			if id, ok := x.X.(*ast.Ident); ok {
+				if o := sc.obj(id); o != nil && sc.isValidated(vkey{o, x.Sel.Name}, pos) {
+					return tval{}
+				}
+			}
+			return tval{src: true}
+		}
+		if sel, ok := sc.info().Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if id, ok := x.X.(*ast.Ident); ok {
+				if o := sc.obj(id); o != nil && sc.isValidated(vkey{o, x.Sel.Name}, pos) {
+					return tval{}
+				}
+			}
+			return sc.eval(x.X, pos)
+		}
+		return tval{}
+	case *ast.IndexExpr:
+		return sc.eval(x.X, pos) // element of a tainted container
+	case *ast.SliceExpr:
+		return sc.eval(x.X, pos)
+	case *ast.CompositeLit:
+		out := tval{}
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = unionT(out, sc.eval(el, pos))
+		}
+		return out
+	case *ast.CallExpr:
+		return sc.evalCall(x, pos)[0]
+	}
+	return tval{}
+}
+
+// evalMulti evaluates an expression expected to produce n values (a
+// multi-result call on the RHS of a tuple assignment or return).
+func (sc *htScope) evalMulti(e ast.Expr, pos token.Pos, n int) []tval {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		ts := sc.evalCall(call, pos)
+		for len(ts) < n {
+			ts = append(ts, ts[0]) // structural source / unknown: uniform
+		}
+		return ts[:n]
+	}
+	out := make([]tval, n)
+	t := sc.eval(e, pos)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// evalCall returns one tval per result of the call (at least one entry).
+func (sc *htScope) evalCall(call *ast.CallExpr, pos token.Pos) []tval {
+	info := sc.info()
+	one := func(t tval) []tval { return []tval{t} }
+
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return one(sc.eval(call.Args[0], pos)) // conversion propagates
+	}
+	// Structural sources: direct fetches from host-writable memory are
+	// local taint — the same-function rules own those flows.
+	if _, m, ok := sharedRead(info, call); ok {
+		if m == "ReadAt" {
+			return one(tval{}) // fills a caller buffer, no results
+		}
+		return one(tval{src: true})
+	}
+	switch calleeName(call) {
+	case "len", "cap", "copy":
+		return one(tval{}) // guest-sized quantities
+	case "append":
+		out := tval{}
+		for _, a := range call.Args {
+			out = unionT(out, sc.eval(a, pos))
+		}
+		return one(out)
+	case "min", "minU32", "max":
+		out := tval{}
+		for _, a := range call.Args {
+			t := sc.eval(a, pos)
+			if !t.concrete() && t.params == 0 {
+				return one(tval{}) // capped by a trusted bound
+			}
+			out = unionT(out, t)
+		}
+		return one(out)
+	}
+	hf2, args := resolveCall(info, sc.st.fns, call)
+	if hf2 == nil {
+		return one(tval{}) // unknown callee: conservative-clean
+	}
+	sum2 := sc.st.sums[hf2]
+	if sum2 == nil || sum2.sanitizedFn {
+		return one(tval{})
+	}
+	n := len(sum2.retTainted)
+	if n == 0 {
+		return one(tval{})
+	}
+	out := make([]tval, n)
+	for r := 0; r < n; r++ {
+		if sum2.retTainted[r] {
+			out[r].inter = true
+			out[r].via = hf2.obj.Name()
+		}
+		bits := sum2.retFrom[r]
+		for i := 0; i < len(args) && i < maxTrackedParams; i++ {
+			if bits&paramBit(i) == 0 {
+				continue
+			}
+			at := sc.eval(args[i], pos)
+			if at.concrete() {
+				out[r].inter = true
+				if out[r].via == "" {
+					out[r].via = hf2.obj.Name()
+				}
+			}
+			out[r].params |= at.params
+		}
+	}
+	return out
+}

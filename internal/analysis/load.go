@@ -127,6 +127,9 @@ type srcImporter struct {
 }
 
 func (si *srcImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
 	if p, ok := si.pkgs[path]; ok {
 		return p, nil
 	}

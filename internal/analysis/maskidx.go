@@ -31,6 +31,14 @@ func runMaskIdx(pass *Pass) error {
 				}
 				switch st := n.(type) {
 				case *ast.AssignStmt:
+					// A for-loop's init was already processed when the
+					// ForStmt itself was visited (the guard must see the
+					// init's taint without the init wiping the guard).
+					if len(stack) > 0 {
+						if f, ok := stack[len(stack)-1].(*ast.ForStmt); ok && f.Init == ast.Stmt(st) {
+							break
+						}
+					}
 					maskIdxAssign(fs, st)
 				case *ast.ValueSpec:
 					for i, id := range st.Names {
@@ -41,15 +49,22 @@ func runMaskIdx(pass *Pass) error {
 						fs.markAssign(id, rhs, st.Pos())
 					}
 				case *ast.IfStmt:
-					maskIdxGuard(fs, st.Cond, st.Body, st.End())
+					maskIdxGuard(fs, st.Cond, st.Body)
 				case *ast.SwitchStmt:
 					for _, c := range st.Body.List {
 						cc := c.(*ast.CaseClause)
 						guardBody := &ast.BlockStmt{List: cc.Body}
 						for _, cond := range cc.List {
-							maskIdxGuard(fs, cond, guardBody, st.End())
+							maskIdxGuard(fs, cond, guardBody)
 						}
 					}
+				case *ast.ForStmt:
+					if init, ok := st.Init.(*ast.AssignStmt); ok {
+						maskIdxAssign(fs, init)
+					}
+					maskIdxForGuard(fs, st)
+				case *ast.RangeStmt:
+					maskIdxRange(fs, st)
 				case *ast.IndexExpr:
 					if indexableSink(pass.TypesInfo, st.X) && fs.taintedExpr(st.Index, st.Pos()) {
 						pass.Reportf(st.Index.Pos(),
@@ -126,7 +141,7 @@ func maskIdxAssign(fs *funcScope, st *ast.AssignStmt) {
 // takes effect from the end of the comparison itself so the short-circuit
 // idiom `idx >= n || !seen[idx]` counts as guarded. A guard that merely
 // logs and continues validates nothing.
-func maskIdxGuard(fs *funcScope, cond ast.Expr, body *ast.BlockStmt, endPos token.Pos) {
+func maskIdxGuard(fs *funcScope, cond ast.Expr, body *ast.BlockStmt) {
 	if cond == nil || !terminates(body) {
 		return
 	}
@@ -140,7 +155,7 @@ func maskIdxGuard(fs *funcScope, cond ast.Expr, body *ast.BlockStmt, endPos toke
 				walk(x.Y)
 			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
 				for _, side := range []ast.Expr{x.X, x.Y} {
-					markValidated(fs, side, x.End())
+					markValidated(fs, side, span{from: x.End(), until: token.NoPos})
 				}
 			}
 		case *ast.ParenExpr:
@@ -152,11 +167,75 @@ func maskIdxGuard(fs *funcScope, cond ast.Expr, body *ast.BlockStmt, endPos toke
 	walk(cond)
 }
 
+// maskIdxForGuard treats a for-loop condition as a guard for uses inside
+// the loop: the body only executes while the condition holds, so
+// `for i := hostLen; i < bound; i++ { buf[i] }` is bounds-checked by
+// construction. Unlike if-guards (inverted, rejecting conditions with a
+// terminating body), a loop condition asserts the bound directly, so only
+// the upper-bounded side of a comparison is validated — `for i > 0; i--`
+// counting down from a host value bounds nothing. The validation window
+// closes at the end of the loop: after exit the variable may hold any
+// value the host chose beyond the bound.
+func maskIdxForGuard(fs *funcScope, st *ast.ForStmt) {
+	if st.Cond == nil {
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LAND:
+				walk(x.X)
+				walk(x.Y)
+			case token.LSS, token.LEQ:
+				markValidated(fs, x.X, span{from: x.End(), until: st.End()})
+			case token.GTR, token.GEQ:
+				markValidated(fs, x.Y, span{from: x.End(), until: st.End()})
+			}
+			// LOR proves neither side; EQL/NEQ bound nothing.
+		case *ast.ParenExpr:
+			walk(x.X)
+		}
+	}
+	walk(st.Cond)
+}
+
+// maskIdxRange propagates taint through a range statement: ranging over a
+// host-controlled slice (e.g. a Region.Slice view) yields host-controlled
+// element values. The key is bounded by the range construct itself —
+// except when ranging over a host-controlled integer, where the key runs
+// up to the host's value.
+func maskIdxRange(fs *funcScope, st *ast.RangeStmt) {
+	tainted := fs.taintedExpr(st.X, st.Pos())
+	setTaint := func(e ast.Expr, t bool) {
+		if e == nil {
+			return
+		}
+		o := fs.obj(e)
+		if o == nil {
+			return
+		}
+		if t {
+			fs.taintVar(o)
+		} else {
+			fs.clearVar(o)
+		}
+	}
+	keyTainted := false
+	if tv, ok := fs.info.Types[st.X]; ok {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			keyTainted = tainted // range over host-chosen count
+		}
+	}
+	setTaint(st.Key, keyTainted)
+	setTaint(st.Value, tainted)
+}
+
 // markValidated marks every tainted variable — and every host-controlled
-// snapshot field like d.Len — mentioned in e as validated for uses after
-// pos. Field validation is per-field: checking d.Len says nothing about
-// d.Ref.
-func markValidated(fs *funcScope, e ast.Expr, pos token.Pos) {
+// snapshot field like d.Len — mentioned in e as validated within sp.
+// Field validation is per-field: checking d.Len says nothing about d.Ref.
+func markValidated(fs *funcScope, e ast.Expr, sp span) {
 	var walk func(n ast.Expr)
 	walk = func(n ast.Expr) {
 		switch x := n.(type) {
@@ -164,7 +243,8 @@ func markValidated(fs *funcScope, e ast.Expr, pos token.Pos) {
 			if hostSource(fs.info, x) {
 				if id, ok := x.X.(*ast.Ident); ok {
 					if o := fs.obj(id); o != nil {
-						fs.validated[vkey{o, x.Sel.Name}] = pos
+						k := vkey{o, x.Sel.Name}
+						fs.validated[k] = append(fs.validated[k], sp)
 						return
 					}
 				}
@@ -172,7 +252,8 @@ func markValidated(fs *funcScope, e ast.Expr, pos token.Pos) {
 			walk(x.X)
 		case *ast.Ident:
 			if o := fs.obj(x); o != nil && fs.tainted[o] {
-				fs.validated[vkey{o, ""}] = pos
+				k := vkey{o, ""}
+				fs.validated[k] = append(fs.validated[k], sp)
 			}
 		case *ast.ParenExpr:
 			walk(x.X)

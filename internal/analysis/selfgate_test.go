@@ -1,19 +1,28 @@
 package analysis_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"confio/internal/analysis"
 )
 
-// TestModuleIsCiovetClean runs the full suite over the whole module, making
-// `go test ./...` itself the enforcement point: a new unsuppressed finding
-// anywhere in confio fails this test with the same output ciovet prints.
+// TestModuleIsCiovetClean runs the full suite — including the
+// interprocedural hosttaint and sharedatomic rules — over the whole
+// module, making `go test ./...` itself the enforcement point: a new
+// unsuppressed finding anywhere in confio fails this test with the same
+// output ciovet prints. The //ciovet:allow suppression multiset must also
+// match the audited ciovet_baseline.json exactly, in both directions: a
+// new opt-out is unaudited, a stale record is a lie about the tree.
 func TestModuleIsCiovetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("module-wide analysis load skipped in -short mode")
 	}
-	pkgs, err := analysis.LoadModule("../..", "./...")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root, "./...")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
@@ -21,6 +30,7 @@ func TestModuleIsCiovetClean(t *testing.T) {
 		t.Fatal("loaded zero packages")
 	}
 	suite := analysis.Suite()
+	var entries []analysis.BaselineEntry
 	for _, pkg := range pkgs {
 		res, err := analysis.Run(pkg, suite)
 		if err != nil {
@@ -29,5 +39,25 @@ func TestModuleIsCiovetClean(t *testing.T) {
 		for _, d := range res.Diagnostics {
 			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
 		}
+		for _, s := range res.Suppressed {
+			entries = append(entries, analysis.SuppressionEntry(pkg.Fset, root, s))
+		}
+	}
+
+	recorded, err := analysis.LoadBaseline(filepath.Join(root, "ciovet_baseline.json"))
+	if err != nil {
+		t.Fatalf("loading suppression baseline: %v", err)
+	}
+	missing, stale := analysis.DiffBaseline(entries, recorded)
+	for _, e := range missing {
+		t.Errorf("unaudited suppression not in baseline: %s [%s] %s (reason: %s)",
+			e.File, e.Rule, e.Message, e.Reason)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (suppression no longer present): %s [%s] %s",
+			e.File, e.Rule, e.Message)
+	}
+	if len(entries) != len(recorded) {
+		t.Errorf("suppression count %d does not match baseline %d", len(entries), len(recorded))
 	}
 }

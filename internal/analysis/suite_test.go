@@ -18,6 +18,16 @@ func TestMaskIdx(t *testing.T) {
 	analysistest.Run(t, corpus(), analysis.MaskIdxAnalyzer, "maskidx")
 }
 
+func TestHostTaint(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.HostTaintAnalyzer, "hosttaint")
+}
+
+func TestSharedAtomic(t *testing.T) {
+	// "safering" (the stub, plain words by design) exercises the
+	// structural Indexes detection with no annotations present.
+	analysistest.Run(t, corpus(), analysis.SharedAtomicAnalyzer, "sharedatomic", "safering")
+}
+
 func TestFatalViolation(t *testing.T) {
 	analysistest.Run(t, corpus(), analysis.FatalViolationAnalyzer, "fatalviolation")
 }
@@ -33,7 +43,7 @@ func TestLatchClear(t *testing.T) {
 // TestSuite pins the rule inventory: renaming or dropping an analyzer is a
 // deliberate act, not a refactoring accident.
 func TestSuite(t *testing.T) {
-	want := []string{"doublefetch", "maskidx", "fatalviolation", "sharedescape", "latchclear"}
+	want := []string{"doublefetch", "maskidx", "hosttaint", "sharedatomic", "fatalviolation", "sharedescape", "latchclear"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

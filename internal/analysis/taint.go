@@ -150,21 +150,44 @@ type vkey struct {
 	field string
 }
 
+// span is the source window in which a validation holds: uses after from
+// and (when until is set) before until count as bounds-checked. An if-guard
+// with a terminating body validates to the end of the function (until ==
+// token.NoPos); a for-loop condition validates only inside the loop.
+type span struct {
+	from  token.Pos
+	until token.Pos // token.NoPos: to end of function
+}
+
+func (s span) covers(pos token.Pos) bool {
+	return pos > s.from && (s.until == token.NoPos || pos < s.until)
+}
+
 // funcScope is the per-function state for the ordered, flow-insensitive
-// taint walk shared by maskidx: a set of tainted variables plus positions
-// after which a variable or snapshot field counts as bounds-validated.
+// taint walk shared by maskidx: a set of tainted variables plus source
+// windows in which a variable or snapshot field counts as bounds-validated.
 type funcScope struct {
 	info      *types.Info
 	tainted   map[types.Object]bool
-	validated map[vkey]token.Pos // validated for uses after this pos
+	validated map[vkey][]span
 }
 
 func newFuncScope(info *types.Info) *funcScope {
 	return &funcScope{
 		info:      info,
 		tainted:   make(map[types.Object]bool),
-		validated: make(map[vkey]token.Pos),
+		validated: make(map[vkey][]span),
 	}
+}
+
+// isValidated reports whether key counts as bounds-checked at pos.
+func (fs *funcScope) isValidated(key vkey, pos token.Pos) bool {
+	for _, s := range fs.validated[key] {
+		if s.covers(pos) {
+			return true
+		}
+	}
+	return false
 }
 
 // obj resolves an identifier to its object.
@@ -192,10 +215,7 @@ func (fs *funcScope) taintedExpr(e ast.Expr, pos token.Pos) bool {
 		if o == nil || !fs.tainted[o] {
 			return false
 		}
-		if v, ok := fs.validated[vkey{o, ""}]; ok && pos > v {
-			return false
-		}
-		return true
+		return !fs.isValidated(vkey{o, ""}, pos)
 	case *ast.BinaryExpr:
 		switch x.Op {
 		case token.AND, token.REM, token.AND_NOT, token.SHR:
@@ -213,10 +233,8 @@ func (fs *funcScope) taintedExpr(e ast.Expr, pos token.Pos) bool {
 		// A host-controlled snapshot field is clean after a terminating
 		// bounds check on that same field (per-field validation).
 		if id, ok := x.X.(*ast.Ident); ok {
-			if o := fs.obj(id); o != nil {
-				if v, ok := fs.validated[vkey{o, x.Sel.Name}]; ok && pos > v {
-					return false
-				}
+			if o := fs.obj(id); o != nil && fs.isValidated(vkey{o, x.Sel.Name}, pos) {
+				return false
 			}
 		}
 		return true

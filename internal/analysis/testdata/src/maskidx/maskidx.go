@@ -119,3 +119,81 @@ func AllowedUnmasked(r *shmem.Region, arr []byte) byte {
 	//ciovet:allow maskidx corpus exercises the suppression path
 	return arr[n]
 }
+
+// BadCompoundAssignIndex uses a host-controlled index on the left of a
+// compound assignment.
+func BadCompoundAssignIndex(r *shmem.Region, buf []byte) {
+	i := r.U32(0)
+	buf[i] += 1 // want "host-controlled value indexes buf"
+}
+
+// BadCompoundAccumulate folds a host-controlled load into a counter with
+// += and indexes with the result.
+func BadCompoundAccumulate(r *shmem.Region, buf []byte) byte {
+	var total uint32
+	total += r.U32(0)
+	return buf[total] // want "host-controlled value indexes buf"
+}
+
+// BadForInitTaint seeds the loop variable from shared memory; an
+// inequality test bounds nothing.
+func BadForInitTaint(r *shmem.Region, buf []byte) {
+	for i := r.U64(0); i != 0; i-- {
+		buf[i] = 0 // want "host-controlled value indexes buf"
+	}
+}
+
+// BadForDescendingFromHost counts down from a host value: `i > 0` is a
+// lower bound, so the index is still unconstrained above.
+func BadForDescendingFromHost(r *shmem.Region, buf []byte) {
+	for i := r.U64(0); i > 0; i-- {
+		buf[i] = 0 // want "host-controlled value indexes buf"
+	}
+}
+
+// GoodForCondGuard: the loop condition upper-bounds the host-seeded
+// variable, so every body iteration is in range by construction.
+func GoodForCondGuard(r *shmem.Region, buf []byte) {
+	for i := r.U64(0); i < uint64(len(buf)); i++ {
+		buf[i] = 0
+	}
+}
+
+// GoodWhileStyleGuard: same bound in while-style form.
+func GoodWhileStyleGuard(r *shmem.Region, buf []byte) {
+	i := r.U64(8)
+	for i < uint64(len(buf)) {
+		buf[i] = 0
+		i++
+	}
+}
+
+// BadUseAfterLoopGuard: the loop condition only guards the body; after
+// exit the variable holds whatever the host seeded beyond the bound.
+func BadUseAfterLoopGuard(r *shmem.Region, buf []byte) byte {
+	i := r.U64(0)
+	for i < uint64(len(buf)) {
+		i++
+	}
+	return buf[i] // want "host-controlled value indexes buf"
+}
+
+// BadRangeValueTaint ranges over a shared-memory view: the element values
+// are host bytes.
+func BadRangeValueTaint(r *shmem.Region, buf []byte) {
+	s := r.Slice(0, 16)
+	for _, v := range s {
+		buf[v]++ // want "host-controlled value indexes buf"
+	}
+}
+
+// GoodRangeKeyBounded: the range key is bounded by the construct itself,
+// even when the ranged slice is host-controlled.
+func GoodRangeKeyBounded(r *shmem.Region) byte {
+	s := r.Slice(0, 16)
+	var acc byte
+	for i := range s {
+		acc ^= s[i]
+	}
+	return acc
+}

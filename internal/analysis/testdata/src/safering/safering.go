@@ -16,12 +16,16 @@ func (e protocolError) Error() string { return string(e) }
 
 var ErrProtocol error = protocolError("safering: fatal protocol violation")
 
+// Indexes deliberately models the UNSAFE pre-hardening shape — plain words,
+// plain accesses — so it doubles as the structural-detection corpus for the
+// sharedatomic rule (prod/cons of a safering.Indexes are shared by
+// definition, no annotation needed).
 type Indexes struct{ prod, cons uint64 }
 
-func (ix *Indexes) LoadProd() uint64   { return ix.prod }
-func (ix *Indexes) StoreProd(v uint64) { ix.prod = v }
-func (ix *Indexes) LoadCons() uint64   { return ix.cons }
-func (ix *Indexes) StoreCons(v uint64) { ix.cons = v }
+func (ix *Indexes) LoadProd() uint64   { return ix.prod } // want "accessed without sync/atomic"
+func (ix *Indexes) StoreProd(v uint64) { ix.prod = v }    // want "accessed without sync/atomic"
+func (ix *Indexes) LoadCons() uint64   { return ix.cons } // want "accessed without sync/atomic"
+func (ix *Indexes) StoreCons(v uint64) { ix.cons = v }    // want "accessed without sync/atomic"
 
 type Ring struct {
 	ix       Indexes

@@ -1,0 +1,72 @@
+// Package sharedatomic is the corpus for the shared-word atomicity rule:
+// fields both endpoints write must only be touched through sync/atomic.
+package sharedatomic
+
+import (
+	"sync/atomic"
+)
+
+type ring struct {
+	//ciovet:shared host advances this under the guest's feet
+	prod uint64
+	//ciovet:shared guest publishes consumption progress here
+	cons uint64
+	//ciovet:shared epoch word, bumped on reincarnation
+	epoch atomic.Uint64
+	local uint64 // guest-private: unmarked, free access
+}
+
+func BadPlainLoad(r *ring) uint64 {
+	return r.prod // want "accessed without sync/atomic"
+}
+
+func BadPlainStore(r *ring, v uint64) {
+	r.cons = v // want "accessed without sync/atomic"
+}
+
+func BadPlainArith(r *ring) uint64 {
+	return r.prod - r.cons // want "accessed without sync/atomic" "accessed without sync/atomic"
+}
+
+func GoodAtomicFns(r *ring) uint64 {
+	v := atomic.LoadUint64(&r.prod)
+	atomic.StoreUint64(&r.cons, v)
+	return atomic.AddUint64(&r.prod, 1)
+}
+
+func GoodAtomicCAS(r *ring, old, v uint64) bool {
+	return atomic.CompareAndSwapUint64(&r.prod, old, v)
+}
+
+func GoodAtomicMethods(r *ring) uint64 {
+	r.epoch.Store(1)
+	r.epoch.Add(1)
+	if r.epoch.CompareAndSwap(2, 3) {
+		return r.epoch.Swap(4)
+	}
+	return r.epoch.Load()
+}
+
+// BadAtomicValueCopy: copying the atomic word as a value reads it
+// non-atomically (and detaches it from the shared cell).
+func BadAtomicValueCopy(r *ring) uint64 {
+	e := r.epoch // want "accessed without sync/atomic"
+	return e.Load()
+}
+
+// BadAddressEscape: taking the address outside a sync/atomic call hands a
+// raw pointer to code the rule cannot see.
+func BadAddressEscape(r *ring) *uint64 {
+	return &r.prod // want "accessed without sync/atomic"
+}
+
+func GoodUnmarkedField(r *ring, v uint64) uint64 {
+	r.local = v
+	return r.local
+}
+
+// GoodAllowedInit: reincarnation-style reset, audited.
+func GoodAllowedInit(r *ring) {
+	//ciovet:allow sharedatomic pre-publication init, peer cannot see the ring yet
+	r.prod = 0
+}

@@ -1,0 +1,39 @@
+// Package atomic is a dependency-free stub of sync/atomic for the analyzer
+// test corpus: sharedatomic matches the package structurally (path suffix
+// "sync/atomic"), so these types and functions stand in for the real ones.
+package atomic
+
+type Uint64 struct{ v uint64 }
+
+func (u *Uint64) Load() uint64         { return u.v }
+func (u *Uint64) Store(v uint64)       { u.v = v }
+func (u *Uint64) Add(d uint64) uint64  { u.v += d; return u.v }
+func (u *Uint64) Swap(v uint64) uint64 { old := u.v; u.v = v; return old }
+func (u *Uint64) CompareAndSwap(old, v uint64) bool {
+	if u.v == old {
+		u.v = v
+		return true
+	}
+	return false
+}
+
+type Bool struct{ v bool }
+
+func (b *Bool) Load() bool   { return b.v }
+func (b *Bool) Store(v bool) { b.v = v }
+func (b *Bool) Swap(v bool) bool {
+	old := b.v
+	b.v = v
+	return old
+}
+
+func LoadUint64(p *uint64) uint64          { return *p }
+func StoreUint64(p *uint64, v uint64)      { *p = v }
+func AddUint64(p *uint64, d uint64) uint64 { *p += d; return *p }
+func CompareAndSwapUint64(p *uint64, old, v uint64) bool {
+	if *p == old {
+		*p = v
+		return true
+	}
+	return false
+}

@@ -66,7 +66,9 @@ func EpochTag(epoch uint32) uint32 { return epoch & 0xFFFFFF }
 // malicious peer publishing garbage is exactly the attack surface the
 // masked/checked consumers are built for.
 type Indexes struct {
+	//ciovet:shared the peer advances this under our feet
 	prod atomic.Uint64
+	//ciovet:shared the peer observes this to reclaim slots
 	cons atomic.Uint64
 }
 

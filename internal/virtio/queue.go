@@ -38,8 +38,10 @@ type Queue struct {
 
 	bufSize uint64
 
-	availIdx atomic.Uint64 // driver-published avail index
-	usedIdx  atomic.Uint64 // device-published used index
+	//ciovet:shared driver-published avail index, device reads it concurrently
+	availIdx atomic.Uint64
+	//ciovet:shared device-published used index, driver reads it concurrently
+	usedIdx atomic.Uint64
 }
 
 // NewQueue allocates a virtqueue of the given size with per-slot buffers.
