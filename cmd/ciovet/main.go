@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"path/filepath"
 	"sort"
+	"text/tabwriter"
 
 	"confio/internal/analysis"
 )
@@ -67,14 +69,47 @@ func sortFindings(fs []finding) {
 	})
 }
 
+// ruleCount tallies one (package, rule) cell of the -stats table.
+type ruleCount struct{ findings, suppressed int }
+
+// printStats writes the -stats table: one row per (package, rule) pair
+// that produced a finding or a suppression, sorted by package then rule,
+// plus a totals row — deterministic, so EXPERIMENTS.md can snapshot it.
+func printStats(counts map[string]map[string]*ruleCount) {
+	var pkgPaths []string
+	for p := range counts {
+		pkgPaths = append(pkgPaths, p)
+	}
+	sort.Strings(pkgPaths)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "PACKAGE\tRULE\tFINDINGS\tSUPPRESSED")
+	totalF, totalS := 0, 0
+	for _, p := range pkgPaths {
+		var rules []string
+		for r := range counts[p] {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		for _, r := range rules {
+			c := counts[p][r]
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\n", p, r, c.findings, c.suppressed)
+			totalF += c.findings
+			totalS += c.suppressed
+		}
+	}
+	fmt.Fprintf(w, "TOTAL\t\t%d\t%d\n", totalF, totalS)
+	w.Flush()
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "also list suppressed diagnostics (//ciovet:allow opt-outs)")
 	list := flag.Bool("list", false, "list the analyzer suite and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
-	baselinePath := flag.String("baseline", "", "baseline file of audited suppressions; the current multiset must match it exactly")
+	baselinePath := flag.String("baseline", "", "baseline file of audited suppressions; a relative path is resolved from the module root, and the current multiset must match the file exactly")
 	update := flag.Bool("update", false, "rewrite the -baseline file from the current suppressions instead of checking")
+	stats := flag.Bool("stats", false, "print a per-analyzer, per-package table of finding and suppression counts")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [-json] [-baseline file [-update]] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [-json] [-stats] [-baseline file [-update]] [packages]\n\n"+
 			"Mechanically enforces the paper's trust-boundary hardening rules.\n\n")
 		flag.PrintDefaults()
 	}
@@ -98,10 +133,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	root, err := os.Getwd()
+	// Baseline paths and baseline entry file names are module-root
+	// relative, never CWD relative: `ciovet -baseline ciovet_baseline.json`
+	// must mean the same file whether invoked from the root, a package
+	// directory, or a CI checkout step.
+	root, err := analysis.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciovet:", err)
 		os.Exit(2)
+	}
+	if *baselinePath != "" && !filepath.IsAbs(*baselinePath) {
+		*baselinePath = filepath.Join(root, *baselinePath)
+	}
+
+	counts := make(map[string]map[string]*ruleCount) // package -> rule -> counts
+	bump := func(pkgPath, rule string, isSuppressed bool) {
+		byRule := counts[pkgPath]
+		if byRule == nil {
+			byRule = make(map[string]*ruleCount)
+			counts[pkgPath] = byRule
+		}
+		c := byRule[rule]
+		if c == nil {
+			c = &ruleCount{}
+			byRule[rule] = c
+		}
+		if isSuppressed {
+			c.suppressed++
+		} else {
+			c.findings++
+		}
 	}
 
 	var diags []finding
@@ -115,6 +176,7 @@ func main() {
 		}
 		for _, d := range res.Diagnostics {
 			diags = append(diags, toFinding(pkg.Fset, d))
+			bump(pkg.Path, d.Rule, false)
 		}
 		for _, s := range res.Suppressed {
 			f := toFinding(pkg.Fset, s.Diagnostic)
@@ -122,6 +184,7 @@ func main() {
 			f.Reason = s.Reason
 			suppressed = append(suppressed, f)
 			entries = append(entries, analysis.SuppressionEntry(pkg.Fset, root, s))
+			bump(pkg.Path, s.Diagnostic.Rule, true)
 		}
 	}
 	sortFindings(diags)
@@ -150,6 +213,10 @@ func main() {
 		for _, f := range suppressed {
 			emit(f)
 		}
+	}
+
+	if *stats {
+		printStats(counts)
 	}
 
 	exit := 0

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confio/internal/analysis"
+)
+
+// TestBaselineResolvedFromModuleRoot is the regression test for the
+// -baseline path bug: a relative baseline path used to be resolved against
+// the invoker's working directory, so `ciovet -baseline ciovet_baseline.json`
+// failed (or silently checked the wrong file) whenever ciovet was run from a
+// package subdirectory. The path must resolve against the module root.
+func TestBaselineResolvedFromModuleRoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs ciovet over the full module")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "ciovet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ciovet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ciovet: %v\n%s", err, out)
+	}
+
+	// Run from a package subdirectory with a relative -baseline path. The
+	// pattern is the module-path form so the analyzed package set (and hence
+	// the suppression multiset) is identical to a root invocation.
+	run := exec.Command(bin, "-baseline", "ciovet_baseline.json", "confio/...")
+	run.Dir = filepath.Join(root, "internal", "safering")
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ciovet from subdirectory: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ciovet: clean") {
+		t.Fatalf("expected clean run against the root baseline, got:\n%s", out)
+	}
+}
+
+// TestModuleRootFromSubdir checks the helper directly: any directory inside
+// the module reports the same root.
+func TestModuleRootFromSubdir(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot(.): %v", err)
+	}
+	sub, err := analysis.ModuleRoot(filepath.Join(root, "internal", "analysis"))
+	if err != nil {
+		t.Fatalf("ModuleRoot(subdir): %v", err)
+	}
+	if sub != root {
+		t.Fatalf("module root drifted with cwd: %q vs %q", sub, root)
+	}
+}

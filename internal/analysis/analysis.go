@@ -128,5 +128,6 @@ func Suite() []*Analyzer {
 		FatalViolationAnalyzer,
 		SharedEscapeAnalyzer,
 		LatchClearAnalyzer,
+		BufOwnAnalyzer,
 	}
 }

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"confio/internal/analysis"
+	"confio/internal/analysis/analysistest"
+)
+
+// TestBufOwnCatchesPR2Bugs runs bufown over testdata/src/bufownreg, which
+// replays — shape for shape — the two ownership bugs PR 2 fixed by hand:
+//
+//   - the TX slab leak in stageTXLocked (slab allocated, shared-area write
+//     fails, error return forgets HandleFree), and
+//   - the RxFrame double release that the Release CAS guard papers over at
+//     runtime (a consume path settles the frame, an error tail settles it
+//     again).
+//
+// The corpus pins that both would now be caught at `make check` time: each
+// pre-fix shape carries a want line, each post-fix shape must stay clean.
+// If this test starts failing, the analyzer has regressed on exactly the
+// class of bug it was built for.
+func TestBufOwnCatchesPR2Bugs(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), analysis.BufOwnAnalyzer, "bufownreg")
+}

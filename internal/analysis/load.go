@@ -17,6 +17,26 @@ import (
 	"strings"
 )
 
+// ModuleRoot returns the root directory of the main module enclosing dir
+// (via `go list -m`), so callers can resolve module-relative paths — the
+// baseline file, baseline entry file names — independently of the working
+// directory ciovet happens to be invoked from.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v\n%s", err, stderr.String())
+	}
+	root := strings.TrimSpace(string(out))
+	if root == "" {
+		return "", fmt.Errorf("go list -m: no module root for %s", dir)
+	}
+	return root, nil
+}
+
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
 	ImportPath string

@@ -40,10 +40,14 @@ func TestLatchClear(t *testing.T) {
 	analysistest.Run(t, corpus(), analysis.LatchClearAnalyzer, "latchclear")
 }
 
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, corpus(), analysis.BufOwnAnalyzer, "bufown")
+}
+
 // TestSuite pins the rule inventory: renaming or dropping an analyzer is a
 // deliberate act, not a refactoring accident.
 func TestSuite(t *testing.T) {
-	want := []string{"doublefetch", "maskidx", "hosttaint", "sharedatomic", "fatalviolation", "sharedescape", "latchclear"}
+	want := []string{"doublefetch", "maskidx", "hosttaint", "sharedatomic", "fatalviolation", "sharedescape", "latchclear", "bufown"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,444 @@
+// Package bufown is the corpus for the flow-sensitive buffer ownership
+// analyzer: lease/release lifecycles of ring frames, arena slab handles,
+// compartment buffers, and //ciovet:owned marker types, across branches,
+// loops, defers, goroutines, closures and channel sends.
+package bufown
+
+import (
+	"compartment"
+	"safering"
+	"shmem"
+)
+
+// --- use-after-release -------------------------------------------------
+
+func BadUseAfterRelease(ep *safering.RxEndpoint) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	f.Release()
+	return f.Len() // want "use of f \\(safering.RxFrame\\) after it was released"
+}
+
+// GoodBranchRelease: released exactly once on every path.
+func GoodBranchRelease(ep *safering.RxEndpoint, done bool) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	if done {
+		f.Release()
+		return 0
+	}
+	n := f.Len()
+	f.Release()
+	return n
+}
+
+// BadMaybeReleasedUse: released on one path, then used after the join —
+// the case an AST walk cannot see.
+func BadMaybeReleasedUse(ep *safering.RxEndpoint, done bool) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	if done {
+		f.Release()
+	}
+	n := f.Len() // want "after it was released"
+	f.Release()  // want "double release"
+	return n
+}
+
+// --- double-release ----------------------------------------------------
+
+func BadDoubleRelease(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	f.Release()
+	f.Release() // want "double release of f"
+}
+
+// BadReleaseInLoop: the value is acquired outside the loop, so iteration
+// two re-releases it — and the zero-iteration path leaks it.
+func BadReleaseInLoop(ep *safering.RxEndpoint, n int) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		f.Release() // want "double release of f"
+	}
+} // want "leaks on this path"
+
+// --- defer -------------------------------------------------------------
+
+// GoodDefer: a deferred release settles the value on all paths.
+func GoodDefer(ep *safering.RxEndpoint) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	defer f.Release()
+	return f.Len()
+}
+
+// BadDeferInLoop: each iteration queues another release of the same value.
+func BadDeferInLoop(ep *safering.RxEndpoint, n int) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		defer f.Release() // want "deferred release is already pending"
+	}
+}
+
+func BadReleaseAfterDefer(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	defer f.Release()
+	f.Release() // want "release is already deferred"
+}
+
+// GoodDeferredClosure: the blkring idiom — a deferred closure returning
+// the slab through the explicit-free message.
+func GoodDeferredClosure(a *shmem.Arena, data []byte) error {
+	h, err := a.Alloc()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = a.HandleFree(shmem.FreeMsg{H: h}) }()
+	return a.Write(h, data)
+}
+
+// --- leaks on early returns and error paths ----------------------------
+
+// BadErrorPathLeak: the pre-PR-2 TX staging shape — alloc succeeds, a
+// later step fails, and the error return forgets the slab.
+func BadErrorPathLeak(a *shmem.Arena, data []byte) error {
+	h, err := a.Alloc()
+	if err != nil {
+		return err
+	}
+	if werr := a.Write(h, data); werr != nil {
+		return werr // want "h \\(shmem.Handle\\) leaks on this path"
+	}
+	return a.HandleFree(shmem.FreeMsg{H: h})
+}
+
+// GoodErrorPathFree: the fixed shape frees on the failure path too.
+func GoodErrorPathFree(a *shmem.Arena, data []byte) error {
+	h, err := a.Alloc()
+	if err != nil {
+		return err
+	}
+	if werr := a.Write(h, data); werr != nil {
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+		return werr
+	}
+	return a.HandleFree(shmem.FreeMsg{H: h})
+}
+
+// BadLeakAtEnd: falling off the end still owing the buffer.
+func BadLeakAtEnd(d *compartment.Domain) {
+	b := d.Alloc(64)
+	b.Bytes()[0] = 1
+} // want "b \\(compartment.Buffer\\) leaks on this path"
+
+// BadReassignLeak: rebinding an owned variable drops the only reference.
+func BadReassignLeak(d *compartment.Domain) {
+	b := d.Alloc(64)
+	b = d.Alloc(128) // want "overwritten before release"
+	b.Free()
+}
+
+// GoodLoopAllocRelease: a fresh acquire per iteration, settled before
+// the back edge.
+func GoodLoopAllocRelease(a *shmem.Arena, n int) {
+	for i := 0; i < n; i++ {
+		h, err := a.Alloc()
+		if err != nil {
+			return
+		}
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+	}
+}
+
+// GoodRangeBorrow: ranged elements belong to the container; releasing a
+// borrowed element is the reap loop's job and carries no obligation here.
+func GoodRangeBorrow(a *shmem.Arena, hs []shmem.Handle) {
+	for _, h := range hs {
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+	}
+}
+
+// GoodSwitchPaths: released in every switch arm.
+func GoodSwitchPaths(a *shmem.Arena, mode int) error {
+	h, err := a.Alloc()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case 0:
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+	default:
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+	}
+	return nil
+}
+
+// --- escaping loans ----------------------------------------------------
+
+type pool struct {
+	frames []*safering.RxFrame
+	kept   *safering.RxFrame
+}
+
+// BadAppendEscape: staging an owned value into a caller-reachable
+// container hands it off — that demands an explicit transfer annotation.
+func (p *pool) BadAppendEscape(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	p.frames = append(p.frames, f) // want "escapes into a structure reachable from the caller"
+}
+
+// GoodAppendTransfer: the annotation vouches that ownership moves.
+func (p *pool) GoodAppendTransfer(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	//ciovet:transfers p owns the frame until its reap path releases it
+	p.frames = append(p.frames, f)
+}
+
+func (p *pool) BadFieldEscape(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	p.kept = f // want "escapes into a structure reachable from the caller"
+}
+
+var stash *safering.RxFrame
+
+func BadGlobalStore(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	stash = f // want "escapes into package-level variable stash"
+}
+
+// GoodLocalAggregate: collecting into a local slice is not an escape —
+// ownership stays inside the function (the conservative, documented
+// trade-off: a local that later escapes is missed).
+func GoodLocalAggregate(a *shmem.Arena) {
+	var hs []shmem.Handle
+	h, err := a.Alloc()
+	if err != nil {
+		return
+	}
+	hs = append(hs, h)
+	for _, x := range hs {
+		_ = a.HandleFree(shmem.FreeMsg{H: x})
+	}
+}
+
+// --- channel sends -----------------------------------------------------
+
+func BadChanSendNoTransfer(ep *safering.RxEndpoint, ch chan *safering.RxFrame) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	ch <- f // want "sent to a channel without //ciovet:transfers"
+}
+
+func GoodChanSendTransfer(ep *safering.RxEndpoint, ch chan *safering.RxFrame) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	//ciovet:transfers the consumer goroutine releases every frame it receives
+	ch <- f
+}
+
+// --- goroutines and closures -------------------------------------------
+
+func BadGoroutineCapture(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	go func() { // want "captured by a goroutine without //ciovet:transfers"
+		f.Release()
+	}()
+}
+
+func GoodGoroutineTransfer(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	//ciovet:transfers the goroutine takes the frame and releases it
+	go func() {
+		f.Release()
+	}()
+}
+
+// GoodClosureBorrow: a plain closure capture is a borrow; the enclosing
+// function still settles the value.
+func GoodClosureBorrow(ep *safering.RxEndpoint) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	read := func() int { return f.Len() }
+	n := read()
+	f.Release()
+	return n
+}
+
+// --- interprocedural summaries -----------------------------------------
+
+// releaseFrame consumes its parameter: summarized, so callers treat the
+// value as settled after the call.
+func releaseFrame(f *safering.RxFrame) {
+	f.Release()
+}
+
+func BadDoubleViaHelper(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	releaseFrame(f)
+	f.Release() // want "double release of f"
+}
+
+func GoodConsumeViaHelper(ep *safering.RxEndpoint) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	releaseFrame(f)
+}
+
+// borrowFrame only reads: callers keep the obligation.
+func borrowFrame(f *safering.RxFrame) int {
+	return f.Len()
+}
+
+func GoodBorrowHelper(ep *safering.RxEndpoint) int {
+	f, err := ep.Recv()
+	if err != nil {
+		return 0
+	}
+	n := borrowFrame(f)
+	f.Release()
+	return n
+}
+
+// fetch returns ownership: summarized as returnsOwned, so the caller
+// inherits the obligation.
+func fetch(ep *safering.RxEndpoint) *safering.RxFrame {
+	f, err := ep.Recv()
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+func BadLeakFromConstructor(ep *safering.RxEndpoint) {
+	f := fetch(ep)
+	if f == nil {
+		return
+	}
+	_ = f.Len()
+} // want "f \\(safering.RxFrame\\) leaks on this path"
+
+func GoodConstructorConsumer(ep *safering.RxEndpoint) {
+	f := fetch(ep)
+	if f == nil {
+		return
+	}
+	f.Release()
+}
+
+// keep transfers its parameter into the receiver under an annotation:
+// summarized as a transfer, so callers neither leak nor double-release.
+func (p *pool) keep(f *safering.RxFrame) {
+	//ciovet:transfers p owns the frame; the drain path releases it
+	p.kept = f
+}
+
+func GoodTransferViaHelper(ep *safering.RxEndpoint, p *pool) {
+	f, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	p.keep(f)
+}
+
+// --- //ciovet:owned marker types ---------------------------------------
+
+// lease is a package-local linear resource declared by marker.
+//
+//ciovet:owned acquire=newLease release=done
+type lease struct{ n int }
+
+func newLease() *lease { return &lease{} }
+
+func (l *lease) done() {}
+
+func BadMarkerLeak() {
+	l := newLease()
+	_ = l
+} // want "l \\(bufown.lease\\) leaks on this path"
+
+func GoodMarkerRelease() {
+	l := newLease()
+	l.done()
+}
+
+func BadMarkerDoubleRelease() {
+	l := newLease()
+	l.done()
+	l.done() // want "double release of l"
+}
+
+// badMarker forgets the mandatory release set.
+//
+//ciovet:owned acquire=mk
+type badMarker struct{} // want "needs release="
+
+// BadAcquireAfterSwitch pins the worklist regression: the acquisition
+// sits *after* a tagged switch, so every block before it flows empty
+// ownership state. The fixpoint must still visit the later blocks
+// (first-visit enqueue even when the join adds nothing) or the leak
+// below goes silently unreported.
+func BadAcquireAfterSwitch(ep *safering.RxEndpoint, mode int) int {
+	n := 0
+	switch mode {
+	case 0:
+		n = 1
+	case 1:
+		n = 2
+	default:
+		n = 3
+	}
+	f, err := ep.Recv()
+	if err != nil {
+		return n
+	}
+	return n + f.Len() // want "f \\(safering.RxFrame\\) leaks on this path"
+}

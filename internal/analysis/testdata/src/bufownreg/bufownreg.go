@@ -1,0 +1,68 @@
+// Package bufownreg replays the two ownership bugs PR 2 fixed by hand,
+// in the exact pre-fix shapes, to pin down that bufown would have caught
+// both mechanically. If either want line here stops firing, the analyzer
+// has lost the regression it exists for.
+package bufownreg
+
+import (
+	"safering"
+	"shmem"
+)
+
+// stageTXPrePR2 mirrors safering.(*Endpoint).stageTXLocked before PR 2:
+// the slab is allocated, the shared-area write fails, and the error
+// return forgets HandleFree — shrinking the data area by one slab per
+// failed send until TX wedges at ErrRingFull.
+func stageTXPrePR2(a *shmem.Arena, frame []byte) error {
+	h, aerr := a.Alloc()
+	if aerr != nil {
+		return aerr
+	}
+	if werr := a.Write(h, frame); werr != nil {
+		return werr // want "h \\(shmem.Handle\\) leaks on this path"
+	}
+	return a.HandleFree(shmem.FreeMsg{H: h})
+}
+
+// stageTXPostPR2 is the shipped fix: the failure path returns the slab
+// before surfacing the error. Must stay clean.
+func stageTXPostPR2(a *shmem.Arena, frame []byte) error {
+	h, aerr := a.Alloc()
+	if aerr != nil {
+		return aerr
+	}
+	if werr := a.Write(h, frame); werr != nil {
+		_ = a.HandleFree(shmem.FreeMsg{H: h})
+		return werr
+	}
+	return a.HandleFree(shmem.FreeMsg{H: h})
+}
+
+// drainPrePR2 mirrors the caller shape PR 2's RxFrame.Release CAS guard
+// protects against: a consume path that settles the frame, then an
+// error-handling tail that settles it again. With the pre-PR-2 plain-bool
+// guard the second Release raced to a double pool put; bufown flags the
+// second release on the path where the first already happened.
+func drainPrePR2(ep *safering.RxEndpoint, deliver func([]byte) error) error {
+	f, err := ep.Recv()
+	if err != nil {
+		return err
+	}
+	derr := deliver(f.Bytes())
+	if derr == nil {
+		f.Release()
+	}
+	f.Release() // want "double release of f"
+	return derr
+}
+
+// drainPostPR2 is the disciplined caller: exactly one release per path.
+func drainPostPR2(ep *safering.RxEndpoint, deliver func([]byte) error) error {
+	f, err := ep.Recv()
+	if err != nil {
+		return err
+	}
+	derr := deliver(f.Bytes())
+	f.Release()
+	return derr
+}

@@ -1,0 +1,17 @@
+// Package compartment is a dependency-free stub of
+// confio/internal/compartment for the analyzer test corpus: bufown
+// matches Buffer structurally (package suffix + type name).
+package compartment
+
+type Buffer struct{ b []byte }
+
+func (b *Buffer) Bytes() []byte { return b.b }
+func (b *Buffer) Free()         {}
+
+type Domain struct{}
+
+func (d *Domain) Alloc(n int) *Buffer { return &Buffer{b: make([]byte, n)} }
+
+type Gate struct{}
+
+func (g *Gate) AllocTx(n int) *Buffer { return &Buffer{b: make([]byte, n)} }

@@ -67,3 +67,21 @@ type Endpoint struct {
 func (e *Endpoint) Recv() ([]byte, error) { return nil, e.dead }
 func (e *Endpoint) Send(b []byte) error   { return e.dead }
 func (e *Endpoint) Reap() error           { return e.dead }
+
+// RxFrame mirrors the real endpoint's received-frame lease: acquired by
+// Recv, settled by Release. The bufown analyzer matches it structurally.
+type RxFrame struct {
+	data     []byte
+	released bool
+}
+
+func (f *RxFrame) Bytes() []byte { return f.data }
+func (f *RxFrame) Len() int      { return len(f.data) }
+func (f *RxFrame) Release()      { f.released = true }
+
+// RxEndpoint mirrors the frame-returning receive API of the real
+// endpoint (the []byte Recv above predates frames and is kept for the
+// other corpora).
+type RxEndpoint struct{ dead error }
+
+func (e *RxEndpoint) Recv() (*RxFrame, error) { return &RxFrame{}, e.dead }

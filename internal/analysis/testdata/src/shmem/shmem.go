@@ -28,3 +28,19 @@ func (r *Region) Slice(off uint64, n int) []byte {
 	o := off & r.mask
 	return r.buf[o : o+uint64(n)]
 }
+
+// Handle is an arena slab lease, FreeMsg the message that returns it.
+// They mirror the real arena so the bufown corpus can exercise the
+// by-argument release shape HandleFree(FreeMsg{H: h}).
+type Handle uint64
+
+type FreeMsg struct{ H Handle }
+
+type Arena struct{ next Handle }
+
+func NewArena(slab, n int) *Arena { return &Arena{} }
+
+func (a *Arena) Alloc() (Handle, error)                 { a.next++; return a.next, nil }
+func (a *Arena) HandleFree(m FreeMsg) error             { return nil }
+func (a *Arena) Write(h Handle, b []byte) error         { return nil }
+func (a *Arena) Read(h Handle, n int, dst []byte) error { return nil }

@@ -169,10 +169,14 @@ func runEpochReplay() Result {
 	}
 	recorded := d.EP.Shared().RXUsed.ReadDesc(0) // host's recording, epoch 0
 	rx, err := d.EP.Recv()
-	if err != nil || !bytes.Equal(rx.Bytes(), want) {
+	if err != nil {
 		return corrupt(fault, fmt.Sprintf("delivery setup: %v", err))
 	}
+	ok := bytes.Equal(rx.Bytes(), want)
 	rx.Release()
+	if !ok {
+		return corrupt(fault, "delivery setup: payload mismatch")
+	}
 
 	if err := d.Kill(); !errors.Is(err, safering.ErrProtocol) {
 		return corrupt(fault, fmt.Sprintf("kill setup: %v", err))

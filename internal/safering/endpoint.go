@@ -294,6 +294,7 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 		// Reuse the slot's handle slice (reapLocked keeps the capacity):
 		// after warm-up the steady-state send path allocates nothing.
 		idx := e.txHead & (e.sh.TX.NSlots() - 1)
+		//ciovet:transfers the slot table owns the slab until reapLocked frees it on host consumption
 		e.txHandles[idx] = append(e.txHandles[idx][:0], h)
 		d = Desc{Len: uint32(len(frame)), Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(h)}
 	case Indirect:
