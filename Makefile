@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages exercised under the race detector: the ones with real
 # cross-goroutine shared state (rings, slab pools, the core datapath).
-RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos
+RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos ./internal/blkring
 
-.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq chaos check
+.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq bench-blk chaos check
 
 all: build
 
@@ -49,6 +49,11 @@ bench:
 # of merit (see EXPERIMENTS.md) — wall MB/s only scales with spare cores.
 bench-mq:
 	$(GO) test -run '^$$' -bench 'BenchmarkMQ_' -benchmem -json . | tee BENCH_mq.json
+
+# Storage-ring amortization sweep (batch x queues over blkring, write +
+# read-back spans); the machine-readable stream lands in BENCH_blk.json.
+bench-blk:
+	$(GO) test -run '^$$' -bench 'BenchmarkBlk_' -benchmem -json . | tee BENCH_blk.json
 
 # Chaos-host fault injection: scripted fault scenarios plus seeded-random
 # storms, each asserting the recovery invariant (clean new epoch or

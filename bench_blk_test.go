@@ -1,0 +1,89 @@
+package confio_test
+
+import (
+	"testing"
+
+	"confio/internal/blkring"
+	"confio/internal/blockdev"
+	"confio/internal/platform"
+)
+
+// --- storage-ring amortization: batch x queues over blkring ---
+
+// blkDevice is the batch surface shared by the single- and multi-queue
+// storage rings.
+type blkDevice interface {
+	WriteSectors(lba uint64, p []byte) error
+	ReadSectors(lba uint64, p []byte) error
+}
+
+// benchBlk drives write+read spans of `batch` sectors through a blkring
+// device with live in-process backends and reports the per-sector meter
+// readings: index publications (the quantity batching amortizes), checks
+// (one per validated completion load — the meter-inflation fix keeps
+// spin-waits out of this column), and modelled time.
+func benchBlk(b *testing.B, queues, batch int) {
+	const slots = 16
+	const sectors = 4096
+	var m platform.Meter
+	disk := blockdev.NewMemDisk(sectors)
+	var dev blkDevice
+	var stops []func()
+	if queues == 1 {
+		ep, err := blkring.New(slots, sectors, &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		be := blkring.NewBackend(ep.Shared(), disk)
+		be.Start()
+		stops = append(stops, be.Stop)
+		dev = ep
+	} else {
+		mq, err := blkring.NewMulti(queues, slots, sectors, &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sh := range mq.Shareds() {
+			be := blkring.NewBackend(sh, disk)
+			be.Start()
+			stops = append(stops, be.Stop)
+		}
+		dev = mq
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	span := batch * blockdev.SectorSize
+	wr := make([]byte, span)
+	for i := range wr {
+		wr[i] = byte(i * 13)
+	}
+	rd := make([]byte, span)
+	spans := sectors/batch - 1
+	b.SetBytes(int64(2 * span))
+	before := m.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := uint64(i%spans) * uint64(batch)
+		if err := dev.WriteSectors(lba, wr); err != nil {
+			b.Fatal(err)
+		}
+		if err := dev.ReadSectors(lba, rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := m.Snapshot().Sub(before)
+	moved := float64(2 * b.N * batch)
+	b.ReportMetric(float64(d.IndexPublishes)/moved, "pub/sector")
+	b.ReportMetric(float64(d.Checks)/moved, "checks/sector")
+	b.ReportMetric(d.ModelNanos(platform.DefaultCostParams())/moved, "model-ns/sector")
+}
+
+func BenchmarkBlk_Batch1_Q1(b *testing.B)  { benchBlk(b, 1, 1) }
+func BenchmarkBlk_Batch16_Q1(b *testing.B) { benchBlk(b, 1, 16) }
+func BenchmarkBlk_Batch1_Q4(b *testing.B)  { benchBlk(b, 4, 1) }
+func BenchmarkBlk_Batch16_Q4(b *testing.B) { benchBlk(b, 4, 16) }

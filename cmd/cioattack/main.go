@@ -60,7 +60,7 @@ func main() {
 	// Exit nonzero if the safe ring was ever compromised — CI guard for
 	// the paper's core claim.
 	for _, r := range results {
-		if (r.Transport == "safering" || r.Transport == "safering-revoke") && r.Verdict == attack.Compromised {
+		if (r.Transport == "safering" || r.Transport == "safering-revoke" || r.Transport == "blkring") && r.Verdict == attack.Compromised {
 			fmt.Fprintf(os.Stderr, "cioattack: SAFE RING COMPROMISED: %s\n", r)
 			os.Exit(1)
 		}

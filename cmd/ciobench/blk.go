@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"confio/internal/blkring"
+	"confio/internal/blockdev"
+	"confio/internal/platform"
+)
+
+// runBlk prints the storage-ring amortization table: for each queue
+// count and batch size, the per-sector index publications, validation
+// checks, and modelled time over the blkring datapath with live
+// in-process backends. Mirrors `make bench-blk` (BENCH_blk.json); the
+// batch-16 column is the number EXPERIMENTS.md quotes.
+func runBlk() {
+	fmt.Println("== storage ring (blkring): batch x queue amortization ==")
+	fmt.Printf("%-7s %-7s %11s %14s %16s\n", "queues", "batch", "pub/sector", "checks/sector", "model-ns/sector")
+	for _, queues := range []int{1, 4} {
+		for _, batch := range []int{1, 4, 16} {
+			pub, checks, model, err := blkRun(queues, batch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ciobench: blk q%d/batch%d: %v\n", queues, batch, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-7d %-7d %11.4f %14.4f %16.1f\n", queues, batch, pub, checks, model)
+		}
+	}
+	fmt.Println("\nreading: one producer-index store covers a whole batched span, so")
+	fmt.Println("publications fall as 1/batch; checks fall toward one per completion load")
+	fmt.Println("because the guest validates each status word once, not once per spin.")
+}
+
+// blkRun moves a fixed sector count through a blkring device in spans of
+// `batch` sectors (write then read back) and returns per-sector meter
+// readings.
+func blkRun(queues, batch int) (pub, checks, modelNs float64, err error) {
+	const slots = 16
+	const sectors = 4096
+	var m platform.Meter
+	disk := blockdev.NewMemDisk(sectors)
+	var dev interface {
+		WriteSectors(lba uint64, p []byte) error
+		ReadSectors(lba uint64, p []byte) error
+	}
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	if queues == 1 {
+		ep, nerr := blkring.New(slots, sectors, &m)
+		if nerr != nil {
+			return 0, 0, 0, nerr
+		}
+		be := blkring.NewBackend(ep.Shared(), disk)
+		be.Start()
+		stops = append(stops, be.Stop)
+		dev = ep
+	} else {
+		mq, nerr := blkring.NewMulti(queues, slots, sectors, &m)
+		if nerr != nil {
+			return 0, 0, 0, nerr
+		}
+		for _, sh := range mq.Shareds() {
+			be := blkring.NewBackend(sh, disk)
+			be.Start()
+			stops = append(stops, be.Stop)
+		}
+		dev = mq
+	}
+
+	span := batch * blockdev.SectorSize
+	wr := make([]byte, span)
+	for i := range wr {
+		wr[i] = byte(i * 13)
+	}
+	rd := make([]byte, span)
+	const targetSectors = 2048
+	rounds := targetSectors / batch
+	spans := sectors/batch - 1
+	before := m.Snapshot()
+	for r := 0; r < rounds; r++ {
+		lba := uint64(r%spans) * uint64(batch)
+		if werr := dev.WriteSectors(lba, wr); werr != nil {
+			return 0, 0, 0, werr
+		}
+		if rerr := dev.ReadSectors(lba, rd); rerr != nil {
+			return 0, 0, 0, rerr
+		}
+	}
+	d := m.Snapshot().Sub(before)
+	moved := float64(2 * rounds * batch)
+	return float64(d.IndexPublishes) / moved, float64(d.Checks) / moved,
+		d.ModelNanos(platform.DefaultCostParams()) / moved, nil
+}

@@ -36,6 +36,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep request sizes to locate design crossovers")
 	batch := flag.Bool("batch", false, "sweep batch sizes over the safe ring's batched datapath")
 	queues := flag.Bool("queues", false, "sweep queue counts over the multi-queue ring datapath")
+	blk := flag.Bool("blk", false, "sweep batch x queues over the storage ring")
 	flag.Parse()
 
 	if *storage {
@@ -52,6 +53,10 @@ func main() {
 	}
 	if *queues {
 		runMQ()
+		return
+	}
+	if *blk {
+		runBlk()
 		return
 	}
 

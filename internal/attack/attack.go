@@ -72,6 +72,7 @@ const (
 	AtkNotifStorm      = "notification-storm"
 	AtkFeatureTOCTOU   = "feature-toctou"
 	AtkStaleMemory     = "stale-memory-leak"
+	AtkStatusCorrupt   = "status-corrupt"
 	AtkQueueCrossKill  = "queue-cross-kill"
 	AtkEpochReplay     = "epoch-replay"
 	AtkReattachStorm   = "reattach-storm"
@@ -82,19 +83,20 @@ const (
 var AttackNames = []string{
 	AtkIndexOverclaim, AtkIndexRewind, AtkLengthLie, AtkDoubleFetch,
 	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkFeatureTOCTOU,
-	AtkStaleMemory, AtkQueueCrossKill, AtkEpochReplay, AtkReattachStorm,
-	AtkL5AfterL2Breach,
+	AtkStaleMemory, AtkStatusCorrupt, AtkQueueCrossKill, AtkEpochReplay,
+	AtkReattachStorm, AtkL5AfterL2Breach,
 }
 
 // TransportNames in matrix order.
 var TransportNames = []string{
-	"safering", "safering-revoke", "safering-mq", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened",
+	"safering", "safering-revoke", "safering-mq", "blkring", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened",
 }
 
 // Suite returns every scenario.
 func Suite() []Scenario {
 	var s []Scenario
 	s = append(s, saferingScenarios()...)
+	s = append(s, blkringScenarios()...)
 	s = append(s, virtioScenarios()...)
 	s = append(s, netvscScenarios()...)
 	s = append(s, crossLayerScenarios()...)

@@ -15,8 +15,9 @@ func TestResilienceMatrix(t *testing.T) {
 	byTransport := Summary(results)
 
 	// Claim 1: the safe ring is never compromised — in either RX policy,
-	// and with multiple queues (no per-queue weakening of the argument).
-	for _, tr := range []string{"safering", "safering-revoke", "safering-mq"} {
+	// with multiple queues (no per-queue weakening of the argument), and
+	// as the storage instantiation of the same engine.
+	for _, tr := range []string{"safering", "safering-revoke", "safering-mq", "blkring"} {
 		if n := byTransport[tr][Compromised]; n != 0 {
 			t.Errorf("%s compromised %d times", tr, n)
 			logTransport(t, results, tr)
@@ -91,14 +92,18 @@ func TestSuiteCoverage(t *testing.T) {
 			if atk == AtkL5AfterL2Breach {
 				continue
 			}
-			if atk == AtkIndexRewind && !strings.HasPrefix(tr, "safering") {
+			engineTr := strings.HasPrefix(tr, "safering") || tr == "blkring"
+			if atk == AtkIndexRewind && !engineTr {
 				continue // modelled only where consumer indexes exist separately
 			}
-			if atk == AtkQueueCrossKill && !strings.HasPrefix(tr, "safering") {
+			if atk == AtkQueueCrossKill && !engineTr {
 				continue // needs sibling queues; baselines model single-queue devices
 			}
-			if (atk == AtkEpochReplay || atk == AtkReattachStorm) && !strings.HasPrefix(tr, "safering") {
+			if (atk == AtkEpochReplay || atk == AtkReattachStorm) && !engineTr {
 				continue // recovery is a safe-ring feature; baselines have no Reincarnate
+			}
+			if atk == AtkStatusCorrupt && tr != "blkring" {
+				continue // status words are a storage-ring surface
 			}
 			if !have[[2]string{atk, tr}] {
 				t.Errorf("no scenario for %s × %s", atk, tr)

@@ -1,0 +1,304 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"confio/internal/blkring"
+	"confio/internal/blockdev"
+	"confio/internal/safering"
+	"confio/internal/shmem"
+)
+
+// mkBlk builds one attacked storage device: 8 slots over a 64-sector
+// memory disk. host selects whether a live backend serves the ring;
+// attacks that forge completions themselves leave it detached.
+func mkBlk(host bool) (*blkring.Endpoint, *blkring.Backend, *blockdev.MemDisk) {
+	ep, err := blkring.New(8, 64, nil)
+	if err != nil {
+		panic(err)
+	}
+	disk := blockdev.NewMemDisk(64)
+	var be *blkring.Backend
+	if host {
+		be = blkring.NewBackend(ep.Shared(), disk)
+		be.Start()
+	}
+	return ep, be, disk
+}
+
+// killBlk forges a consumer-index overclaim and returns the fatal error
+// the guest's next submission observed.
+func killBlk(ep *blkring.Endpoint) error {
+	ep.Shared().Ring.Indexes().StoreCons(ep.Shared().Ring.NSlots() * 4)
+	return ep.WriteSector(0, make([]byte, blockdev.SectorSize))
+}
+
+// awaitStaged spins until the guest's blocked submission has published a
+// request (so the attacking host can answer it), bailing out if the
+// submission returns before the attack lands.
+func awaitStaged(ep *blkring.Endpoint, errCh <-chan error) error {
+	for {
+		select {
+		case err := <-errCh:
+			return fmt.Errorf("submission returned early: %v", err)
+		default:
+		}
+		if head, _, alive := ep.WatchProgress(); !alive || head > 0 {
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// completeSlot plays a host answering the request in one slot: it fills
+// the request's own staging slab with data (for reads), then publishes a
+// status word and bumps the consumer index. The status word is the
+// attacker's to corrupt.
+func completeSlot(ep *blkring.Endpoint, idx uint64, data []byte, statusWord uint32) {
+	sh := ep.Shared()
+	off := sh.Ring.SlotOff(idx)
+	if data != nil {
+		h := shmem.Handle(sh.Ring.Slots().U64(off + 16))
+		sh.Data.Region().WriteAt(data, sh.Data.PeerOffset(h))
+	}
+	sh.Ring.Slots().SetU32(off+4, statusWord)
+	sh.Ring.Indexes().StoreCons(idx + 1)
+}
+
+// blkringScenarios attacks the storage ring. It is the same generic
+// engine as the network ring, so the expectation asserted by the tests
+// is the same: every class Blocked (or surfaceless), none Compromised.
+func blkringScenarios() []Scenario {
+	const tr = "blkring"
+	var out []Scenario
+
+	out = append(out,
+		Scenario{AtkIndexOverclaim, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			err := killBlk(ep)
+			return verdictFromFatal(AtkIndexOverclaim, tr, err, blkring.ErrProtocol,
+				compromised(AtkIndexOverclaim, tr, "overclaim accepted"))
+		}},
+		Scenario{AtkIndexRewind, tr, func() Result {
+			ep, be, _ := mkBlk(true)
+			if err := ep.WriteSector(1, frame(blockdev.SectorSize, 1)); err != nil {
+				return compromised(AtkIndexRewind, tr, "setup: "+err.Error())
+			}
+			be.Stop()
+			// The host rewinds the consumer index below progress the
+			// guest already reaped.
+			ep.Shared().Ring.Indexes().StoreCons(0)
+			err := ep.ReadSector(1, make([]byte, blockdev.SectorSize))
+			return verdictFromFatal(AtkIndexRewind, tr, err, blkring.ErrProtocol,
+				compromised(AtkIndexRewind, tr, "rewind accepted"))
+		}},
+		Scenario{AtkStatusCorrupt, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			errCh := make(chan error, 1)
+			go func() { errCh <- ep.WriteSector(2, frame(blockdev.SectorSize, 2)) }()
+			if err := awaitStaged(ep, errCh); err != nil {
+				return compromised(AtkStatusCorrupt, tr, err.Error())
+			}
+			// The host completes with a garbage status word: neither a
+			// valid status code nor this incarnation's epoch tag.
+			completeSlot(ep, 0, nil, 0xDEAD)
+			err := <-errCh
+			return verdictFromFatal(AtkStatusCorrupt, tr, err, blkring.ErrProtocol,
+				compromised(AtkStatusCorrupt, tr, "corrupt status word accepted"))
+		}},
+		Scenario{AtkReplay, tr, func() Result {
+			ep, be, _ := mkBlk(true)
+			if err := ep.WriteSector(3, frame(blockdev.SectorSize, 3)); err != nil {
+				return compromised(AtkReplay, tr, "setup: "+err.Error())
+			}
+			be.Stop()
+			// The host replays the completion signal for the request the
+			// guest already consumed: the replayed index bump overruns
+			// the producer head.
+			ep.Shared().Ring.Indexes().StoreCons(2)
+			err := ep.ReadSector(3, make([]byte, blockdev.SectorSize))
+			return verdictFromFatal(AtkReplay, tr, err, blkring.ErrProtocol,
+				compromised(AtkReplay, tr, "replayed completion accepted"))
+		}},
+		Scenario{AtkLengthLie, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			want := frame(blockdev.SectorSize, 4)
+			got := make([]byte, blockdev.SectorSize)
+			errCh := make(chan error, 1)
+			go func() { errCh <- ep.ReadSector(4, got) }()
+			if err := awaitStaged(ep, errCh); err != nil {
+				return compromised(AtkLengthLie, tr, err.Error())
+			}
+			// The host rewrites the staged length word to a giant value,
+			// then completes. The guest authored the geometry and never
+			// re-reads it: the lie must be dead state.
+			sh := ep.Shared()
+			sh.Ring.Slots().SetU32(sh.Ring.SlotOff(0)+24, 1<<30)
+			completeSlot(ep, 0, want, safering.KindWord(blkring.StatusOK, sh.Epoch))
+			if err := <-errCh; err != nil {
+				return compromised(AtkLengthLie, tr, "honest completion rejected: "+err.Error())
+			}
+			if !bytes.Equal(got, want) {
+				return compromised(AtkLengthLie, tr, "lied length changed what the guest read")
+			}
+			return blocked(AtkLengthLie, tr, "geometry is guest-authored and single-fetched; the rewrite is dead state")
+		}},
+		Scenario{AtkDoubleFetch, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			want := frame(blockdev.SectorSize, 5)
+			got := make([]byte, blockdev.SectorSize)
+			errCh := make(chan error, 1)
+			go func() { errCh <- ep.ReadSector(5, got) }()
+			if err := awaitStaged(ep, errCh); err != nil {
+				return compromised(AtkDoubleFetch, tr, err.Error())
+			}
+			// The host rewrites the op and LBA words between staging and
+			// completion, hoping the guest re-fetches them when the
+			// completion lands.
+			sh := ep.Shared()
+			off := sh.Ring.SlotOff(0)
+			sh.Ring.Slots().SetU32(off+0, safering.KindWord(blkring.OpWrite, sh.Epoch))
+			sh.Ring.Slots().SetU64(off+8, 63)
+			completeSlot(ep, 0, want, safering.KindWord(blkring.StatusOK, sh.Epoch))
+			if err := <-errCh; err != nil {
+				return compromised(AtkDoubleFetch, tr, "completion rejected: "+err.Error())
+			}
+			if !bytes.Equal(got, want) {
+				return compromised(AtkDoubleFetch, tr, "request words re-fetched after the host's rewrite")
+			}
+			return blocked(AtkDoubleFetch, tr, "completion uses the parked request, not the mutable slot words")
+		}},
+		Scenario{AtkForgedHandle, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			want := frame(blockdev.SectorSize, 6)
+			got := make([]byte, blockdev.SectorSize)
+			errCh := make(chan error, 1)
+			go func() { errCh <- ep.ReadSector(6, got) }()
+			if err := awaitStaged(ep, errCh); err != nil {
+				return compromised(AtkForgedHandle, tr, err.Error())
+			}
+			// The host swaps the staged handle word for a forged one,
+			// then completes (writing data through the slab the ORIGINAL
+			// handle names, as an honest host would have). The guest's
+			// copy-out must come from its parked lease, not the forgery.
+			sh := ep.Shared()
+			off := sh.Ring.SlotOff(0)
+			orig := shmem.Handle(sh.Ring.Slots().U64(off + 16))
+			sh.Data.Region().WriteAt(want, sh.Data.PeerOffset(orig))
+			sh.Ring.Slots().SetU64(off+16, uint64(orig)|0xFFFFFFFF00000000)
+			completeSlot(ep, 0, nil, safering.KindWord(blkring.StatusOK, sh.Epoch))
+			if err := <-errCh; err != nil {
+				return compromised(AtkForgedHandle, tr, "completion rejected: "+err.Error())
+			}
+			if !bytes.Equal(got, want) {
+				return compromised(AtkForgedHandle, tr, "forged handle word redirected the guest's copy-out")
+			}
+			return blocked(AtkForgedHandle, tr, "handles are guest-allocated and parked; the slot word is never re-read")
+		}},
+		Scenario{AtkNotifStorm, tr, func() Result {
+			return na(AtkNotifStorm, tr, "polling transport: no doorbell surface to storm")
+		}},
+		Scenario{AtkFeatureTOCTOU, tr, func() Result {
+			return na(AtkFeatureTOCTOU, tr, "zero-negotiation: no control plane exists")
+		}},
+		Scenario{AtkStaleMemory, tr, func() Result {
+			ep, _, _ := mkBlk(true)
+			secret := frame(blockdev.SectorSize, 0x5E)
+			if err := ep.WriteSector(7, secret); err != nil {
+				return compromised(AtkStaleMemory, tr, "setup: "+err.Error())
+			}
+			// The lease was freed on completion; the host-visible staging
+			// arena must hold no trace of the secret sector.
+			reg := ep.Shared().Data.Region()
+			if bytes.Contains(reg.Slice(0, reg.Size()), secret[:16]) {
+				return compromised(AtkStaleMemory, tr, "freed staging slab not scrubbed")
+			}
+			return blocked(AtkStaleMemory, tr, "staging slabs scrubbed on free")
+		}},
+		Scenario{AtkQueueCrossKill, tr, func() Result {
+			m, err := blkring.NewMulti(4, 8, 64, nil)
+			if err != nil {
+				panic(err)
+			}
+			q2 := m.Queues()[2]
+			if err := killBlk(q2); !errors.Is(err, blkring.ErrProtocol) {
+				return compromised(AtkQueueCrossKill, tr, "overclaim on queue 2 accepted")
+			}
+			for q, ep := range m.Queues() {
+				if err := ep.WriteSector(0, make([]byte, blockdev.SectorSize)); !errors.Is(err, blkring.ErrDead) {
+					return compromised(AtkQueueCrossKill, tr,
+						fmt.Sprintf("queue %d still accepts I/O after sibling violation", q))
+				}
+			}
+			return blocked(AtkQueueCrossKill, tr, "violation on one queue fail-deads the whole device")
+		}},
+		Scenario{AtkEpochReplay, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			if err := killBlk(ep); !errors.Is(err, blkring.ErrProtocol) {
+				return compromised(AtkEpochReplay, tr, "kill not detected")
+			}
+			if _, err := ep.Reincarnate(); err != nil {
+				return compromised(AtkEpochReplay, tr, "reincarnate: "+err.Error())
+			}
+			errCh := make(chan error, 1)
+			go func() { errCh <- ep.ReadSector(1, make([]byte, blockdev.SectorSize)) }()
+			if err := awaitStaged(ep, errCh); err != nil {
+				return compromised(AtkEpochReplay, tr, err.Error())
+			}
+			// The host replays a completion recorded before the death:
+			// the raw status word carries the dead epoch's tag.
+			completeSlot(ep, 0, nil, blkring.StatusOK)
+			err := <-errCh
+			return verdictFromFatal(AtkEpochReplay, tr, err, blkring.ErrProtocol,
+				compromised(AtkEpochReplay, tr, "stale-epoch completion accepted after rebirth"))
+		}},
+		Scenario{AtkReattachStorm, tr, func() Result {
+			ep, _, _ := mkBlk(false)
+			clk := &stormClock{t: time.Unix(1_700_000_000, 0)}
+			ep.SetClock(clk.Now)
+			ep.SetRecoveryPolicy(safering.RecoveryPolicy{
+				BaseBackoff:  10 * time.Millisecond,
+				MaxBackoff:   time.Second,
+				JitterFrac:   0.2,
+				DeathBudget:  4,
+				BudgetWindow: time.Minute,
+				Clock:        clk.Now,
+				Seed:         42,
+			})
+			sawQuarantine := false
+			for round := 0; round < 32; round++ {
+				if err := killBlk(ep); !errors.Is(err, blkring.ErrProtocol) {
+					return compromised(AtkReattachStorm, tr, "kill not detected")
+				}
+				_, err := ep.Reincarnate()
+				for errors.Is(err, safering.ErrQuarantine) {
+					sawQuarantine = true
+					clk.Advance(2 * time.Second)
+					_, err = ep.Reincarnate()
+				}
+				if errors.Is(err, safering.ErrBudgetExhausted) {
+					if !sawQuarantine {
+						return compromised(AtkReattachStorm, tr, "no quarantine before budget exhaustion")
+					}
+					clk.Advance(10 * time.Minute)
+					if _, err := ep.Reincarnate(); !errors.Is(err, safering.ErrBudgetExhausted) {
+						return compromised(AtkReattachStorm, tr, "patient host revived a budget-dead device")
+					}
+					if err := ep.WriteSector(0, make([]byte, blockdev.SectorSize)); !errors.Is(err, blkring.ErrDead) {
+						return compromised(AtkReattachStorm, tr, "budget-dead device accepted I/O")
+					}
+					return blocked(AtkReattachStorm, tr, "storm quarantined, then permanent fail-dead (bounded resets)")
+				}
+				if err != nil {
+					return compromised(AtkReattachStorm, tr, "reincarnate: "+err.Error())
+				}
+			}
+			return compromised(AtkReattachStorm, tr, "storm never exhausted the death budget")
+		}},
+	)
+	return out
+}

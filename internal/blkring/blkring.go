@@ -5,10 +5,23 @@
 // indexes, single-fetch descriptor snapshots, data staged through a
 // generation-tagged arena, no negotiation and no notifications.
 //
+// The ring is an instance of safering's payload-generic producer engine,
+// so every hardening property the network boundary has — batched
+// submission with one index store per batch, bounded in-flight
+// accounting, monotonic peer-index validation, fail-dead on any
+// violation, epoch-tagged descriptors that make replaying a dead
+// incarnation's ring itself fatal, quarantined reincarnation, and
+// host-stall watchdog coverage — is inherited here rather than
+// re-implemented as a parallel weaker copy.
+//
 // Requests complete *in place*: the host writes the status into the slot
-// it consumed, and slot ownership returns to the guest with the
-// ring's consumer index — there is no separate completion path to
-// desynchronize.
+// it consumed, and slot ownership returns to the guest with the ring's
+// consumer index — there is no separate completion path to
+// desynchronize. A staging slab stays checked out until the *engine*
+// returns its slot: if the host never completes the request, the slab is
+// never freed back into circulation (the host still holds its handle and
+// may yet write it) — the endpoint fail-deads on timeout and the slab
+// vanishes with the old arena at reincarnation.
 package blkring
 
 import (
@@ -24,13 +37,16 @@ import (
 	"confio/internal/shmem"
 )
 
-// Request opcodes.
+// Request opcodes (the low 8 bits of the slot's op word; the high 24
+// bits carry the device epoch tag, exactly like a network descriptor's
+// Kind word).
 const (
 	OpRead  uint32 = 1
 	OpWrite uint32 = 2
 )
 
-// Status values (written by the host into the consumed slot).
+// Status values (the low 8 bits of the status word the host writes into
+// the consumed slot; the high 24 bits must echo the device epoch).
 const (
 	StatusPending uint32 = 0
 	StatusOK      uint32 = 1
@@ -40,7 +56,7 @@ const (
 const slotSize = 32
 
 // Slot layout: op u32 @0, status u32 @4, lba u64 @8, handle u64 @16,
-// len u32 @24.
+// len u32 @24. Op and status are epoch-stamped Kind words.
 
 // Errors.
 var (
@@ -50,18 +66,24 @@ var (
 	ErrTimeout  = errors.New("blkring: request timed out")
 )
 
-// Shared is the host-visible state.
+// DefaultTimeout bounds how long a submission waits for the host before
+// declaring it dead. Generous: a merely-slow host is never killed.
+const DefaultTimeout = 5 * time.Second
+
+// Shared is the host-visible state of one incarnation.
 type Shared struct {
-	Ring *safering.Ring // 32-byte slots; we use the raw region
-	Data *shmem.Arena   // sector staging slabs
+	Ring  *safering.Ring // 32-byte slots; we use the raw region
+	Data  *shmem.Arena   // sector staging slabs
+	Epoch uint32         // incarnation; stamped into every op/status word
 }
 
 // slabLease is one staging slab checked out of the shared data arena for
 // the lifetime of a single request. Declaring it linear to ciovet makes
 // the bufown analyzer enforce what the in-place completion protocol
-// assumes: every request path — success, host I/O error, protocol
-// violation, timeout — returns its slab, or TX wedges at arena
-// exhaustion one failed request at a time.
+// assumes: the slab returns exactly when the engine returns the slot
+// (success or host I/O error), and on any fatal path it is deliberately
+// *not* freed — the host may still write it, so it stays quarantined in
+// the dead incarnation's arena until reincarnation discards both.
 //
 //ciovet:owned acquire=newSlabLease release=Free
 type slabLease struct {
@@ -82,129 +104,358 @@ func newSlabLease(a *shmem.Arena) (*slabLease, error) {
 // at runtime harmless, but bufown reports it at vet time.
 func (l *slabLease) Free() { _ = l.a.HandleFree(shmem.FreeMsg{H: l.h}) }
 
-// Endpoint is the guest side; it implements blockdev.Disk over the ring.
+// completionSpin, when non-nil, is called once per completion-wait spin
+// with the endpoint lock released. Test hook only (regression tests and
+// the chaos harness play the slow or malicious host deterministically
+// through it); always nil outside tests.
+var completionSpin func()
+
+// pending is the guest-private completion record of one in-flight
+// request; the engine's OnReturn hook fills it when the host returns the
+// slot.
+type pending struct {
+	done bool
+	err  error // nil, ErrIO-wrapped, or unset on fatal paths
+}
+
+// blkDesc is the engine payload of one request: everything the endpoint
+// needs when the slot comes home.
+type blkDesc struct {
+	op    uint32
+	lba   uint64
+	lease *slabLease
+	out   []byte   // read destination (nil for writes)
+	res   *pending // completion record shared with the submitter
+}
+
+// blkCodec encodes one request into its 32-byte ring slot, stamping the
+// op and status words with the current device epoch.
+type blkCodec struct{ e *Endpoint }
+
+func (c blkCodec) Encode(r *safering.Ring, idx uint64, d blkDesc) {
+	off := r.SlotOff(idx)
+	s := r.Slots()
+	s.SetU32(off+0, safering.KindWord(d.op, c.e.sh.Epoch))
+	s.SetU32(off+4, safering.KindWord(StatusPending, c.e.sh.Epoch))
+	s.SetU64(off+8, d.lba)
+	s.SetU64(off+16, uint64(d.lease.h))
+	s.SetU32(off+24, blockdev.SectorSize)
+}
+
+// Endpoint is the guest side; it implements blockdev.Disk (and
+// blockdev.BatchDisk) over the ring.
 type Endpoint struct {
-	sh      *Shared
 	meter   *platform.Meter
 	sectors uint64
+	slots   int
+	// latch, when non-nil, is the device-wide fail-dead state of the
+	// multi-queue device this endpoint is one queue of.
+	latch *safering.DeathLatch
 
-	mu       sync.Mutex
-	head     uint64
-	consSeen uint64
-	dead     error
+	mu      sync.Mutex
+	sh      *Shared
+	eng     *safering.Engine[blkDesc]
+	dead    error
+	deadOp  error
+	rec     *safering.Quarantine
+	clock   func() time.Time
+	timeout time.Duration
 }
 
 // New builds a guest endpoint for a backing disk of `sectors` sectors
-// with a ring of `slots` requests (power of two).
+// with a ring of `slots` requests (power of two). The meter may be nil.
 func New(slots int, sectors uint64, meter *platform.Meter) (*Endpoint, error) {
-	ring, err := safering.NewRing(slots, slotSize)
-	if err != nil {
-		return nil, err
-	}
-	arena, err := shmem.NewArena(blockdev.SectorSize, slots)
-	if err != nil {
-		return nil, err
-	}
-	return &Endpoint{
-		sh:      &Shared{Ring: ring, Data: arena},
+	e := &Endpoint{
 		meter:   meter,
 		sectors: sectors,
-	}, nil
+		slots:   slots,
+		clock:   time.Now,
+		timeout: DefaultTimeout,
+	}
+	sh, err := e.newShared(0)
+	if err != nil {
+		return nil, err
+	}
+	e.sh = sh
+	e.eng = safering.NewEngine[blkDesc](sh.Ring, nil, blkCodec{e}, meter,
+		safering.EngineHooks[blkDesc]{OnReturn: e.onReturn, Fail: e.engineFail})
+	return e, nil
 }
 
-// Shared exposes the host-visible state.
-func (e *Endpoint) Shared() *Shared { return e.sh }
+// newShared builds one incarnation's host-visible state.
+func (e *Endpoint) newShared(epoch uint32) (*Shared, error) {
+	ring, err := safering.NewRing(e.slots, slotSize)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := shmem.NewArena(blockdev.SectorSize, e.slots)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{Ring: ring, Data: arena, Epoch: epoch}, nil
+}
+
+// Shared exposes the host-visible state. After a reincarnation it
+// returns the new instance.
+func (e *Endpoint) Shared() *Shared {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sh
+}
 
 // Sectors implements blockdev.Disk.
 func (e *Endpoint) Sectors() uint64 { return e.sectors }
 
-// Dead returns the fatal error, if any.
+// Epoch returns the current device incarnation.
+func (e *Endpoint) Epoch() uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sh.Epoch
+}
+
+// SetClock injects the time source used for submission deadlines (the
+// chaos harness drives storage timeouts with a fake clock); nil resets
+// to time.Now.
+func (e *Endpoint) SetClock(clk func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if clk == nil {
+		clk = time.Now
+	}
+	e.clock = clk
+}
+
+// SetTimeout bounds how long a submission waits for the host;
+// non-positive resets to DefaultTimeout.
+func (e *Endpoint) SetTimeout(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d <= 0 {
+		d = DefaultTimeout
+	}
+	e.timeout = d
+}
+
+// SetRecoveryPolicy installs the quarantine policy governing
+// Reincarnate, replacing any accumulated quarantine state.
+func (e *Endpoint) SetRecoveryPolicy(p safering.RecoveryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = safering.NewQuarantine(p)
+}
+
+// Dead returns the fatal error, if any. On a multi-queue device a
+// violation on any sibling queue counts.
 func (e *Endpoint) Dead() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.deadLocked()
 	return e.dead
 }
 
+// fail records the fatal violation, adopting the device-wide first cause
+// through the latch on a multi-queue device.
 func (e *Endpoint) fail(err error) error {
 	if e.dead == nil {
-		e.dead = err
+		cause, won := e.latch.Kill(err)
+		if cause == nil { // single-queue device: no latch arbitration
+			cause, won = err, true
+		}
+		e.adoptLocked(cause)
+		if won {
+			e.meter.Death(1)
+		}
 	}
 	return e.dead
 }
 
-// submit issues one request and waits (polling) for its completion.
-func (e *Endpoint) submit(op uint32, lba uint64, data []byte, out []byte) error {
+// engineFail is the engine's Fail hook: index-validation errors arrive
+// tagged with safering's protocol error; re-tag them with blkring's so
+// callers match one storage-boundary error class.
+func (e *Endpoint) engineFail(err error) error {
+	if !errors.Is(err, ErrProtocol) {
+		err = fmt.Errorf("%w: %w", ErrProtocol, err)
+	}
+	return e.fail(err)
+}
+
+func (e *Endpoint) adoptLocked(cause error) {
+	e.dead = cause
+	e.deadOp = fmt.Errorf("%w (cause: %w)", ErrDead, cause)
+}
+
+func (e *Endpoint) deadLocked() bool {
+	if e.dead != nil {
+		return true
+	}
+	if e.latch != nil {
+		if err := e.latch.Dead(); err != nil {
+			e.adoptLocked(err)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Endpoint) deadOpLocked() error {
+	if e.deadOp == nil {
+		e.deadOp = ErrDead
+	}
+	return e.deadOp
+}
+
+// onReturn is the engine's OnReturn hook: the host returned the slot at
+// pos, with the request's status written in place. The status word is
+// snapshotted exactly once and must carry the current epoch tag — a
+// completion recorded by a previous incarnation (or forged wholesale)
+// dies here. Only on a validated, non-fatal completion does the staging
+// slab go back into circulation.
+func (e *Endpoint) onReturn(pos uint64, d blkDesc) error {
+	off := e.sh.Ring.SlotOff(pos)
+	status := e.sh.Ring.Slots().U32(off + 4) // single fetch
+	e.meter.Check(1)
+	if safering.KindEpoch(status) != safering.EpochTag(e.sh.Epoch) {
+		return fmt.Errorf("%w: completion status %#x carries epoch %d (want %d): stale or forged incarnation",
+			ErrProtocol, status, safering.KindEpoch(status), safering.EpochTag(e.sh.Epoch))
+	}
+	switch safering.KindCode(status) {
+	case StatusOK:
+		if d.op == OpRead {
+			if err := e.sh.Data.Read(d.lease.h, blockdev.SectorSize, d.out); err != nil {
+				// The handle came from our private record: a readback
+				// failure means our own state is corrupt — fatal, and the
+				// slab stays quarantined with the dying incarnation.
+				return fmt.Errorf("%w: readback: %v", ErrProtocol, err)
+			}
+			e.meter.Copy(blockdev.SectorSize)
+		}
+		d.res.done = true
+		d.lease.Free()
+	case StatusIOError:
+		d.res.done = true
+		d.res.err = fmt.Errorf("%w: lba %d", ErrIO, d.lba)
+		d.lease.Free()
+	default:
+		return fmt.Errorf("%w: status %#x", ErrProtocol, status)
+	}
+	return nil
+}
+
+// spinLocked runs one completion-wait spin: deadline check first (a
+// stalled host fail-deads the endpoint with ErrTimeout as the cause —
+// its staging slabs stay quarantined, see the package comment), then one
+// scheduling yield with the lock released, then a reap *only if the
+// consumer index actually moved* — so validation cost scales with
+// validated reads, not with host latency.
+func (e *Endpoint) spinLocked(deadline time.Time) error {
+	if e.clock().After(deadline) {
+		return e.fail(fmt.Errorf("%w: host completion overdue; staging slabs quarantined until reincarnation", ErrTimeout))
+	}
+	hook := completionSpin
+	e.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	runtime.Gosched()
+	e.mu.Lock()
+	if e.deadLocked() {
+		return e.deadOpLocked()
+	}
+	_, _, err := e.eng.ReapIfMoved()
+	return err
+}
+
+// submit issues n = len(p)/SectorSize requests starting at lba and waits
+// for all of them. Submission is batched: as many requests as the ring
+// has room for are staged and made visible with ONE producer-index
+// store; a full ring blocks (bounded by the deadline) until the host
+// returns slots — the producer can never lap the consumer and overwrite
+// an in-flight request.
+func (e *Endpoint) submit(op uint32, lba uint64, p []byte) error {
+	n := len(p) / blockdev.SectorSize
+	if n == 0 {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead != nil {
-		return ErrDead
+	if e.deadLocked() {
+		return e.deadOpLocked()
 	}
-	if lba >= e.sectors {
-		return blockdev.ErrOutOfRange
+	if lba >= e.sectors || uint64(n) > e.sectors-lba {
+		return fmt.Errorf("%w: lba %d + %d sectors", blockdev.ErrOutOfRange, lba, n)
 	}
 
-	lease, err := newSlabLease(e.sh.Data)
-	if err != nil {
-		return fmt.Errorf("blkring: %w", err)
+	results := make([]pending, n)
+	deadline := e.clock().Add(e.timeout)
+	if _, err := e.eng.Reap(); err != nil {
+		return err
 	}
-	defer lease.Free()
-	h := lease.h
-	if op == OpWrite {
-		if err := e.sh.Data.Write(h, data); err != nil {
+	staged := 0
+	for staged < n {
+		for staged < n && !e.eng.Full(e.eng.ConsSeen()) {
+			if err := e.stageLocked(op, lba+uint64(staged), p, staged, &results[staged]); err != nil {
+				return err
+			}
+			staged++
+		}
+		e.eng.Publish()
+		// Backpressure: the ring is full, so every slot is an in-flight
+		// request the host still owns. Wait for completions (or die at
+		// the deadline); never overwrite.
+		for staged < n && e.eng.Full(e.eng.ConsSeen()) {
+			if err := e.spinLocked(deadline); err != nil {
+				return err
+			}
+		}
+	}
+	for !allDone(results) {
+		if err := e.spinLocked(deadline); err != nil {
 			return err
 		}
-		e.meter.Copy(len(data))
 	}
-
-	idx := e.head
-	off := e.sh.Ring.SlotOff(idx)
-	slots := e.sh.Ring.Slots()
-	slots.SetU32(off+0, op)
-	slots.SetU32(off+4, StatusPending)
-	slots.SetU64(off+8, lba)
-	slots.SetU64(off+16, uint64(h))
-	slots.SetU32(off+24, blockdev.SectorSize)
-	e.head++
-	e.sh.Ring.Indexes().StoreProd(e.head)
-
-	// Poll for completion: the host's consumer index covering our slot
-	// returns ownership, with the status written in place.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		cons := e.sh.Ring.Indexes().LoadCons()
-		e.meter.Check(1)
-		if cons > e.head {
-			return e.fail(fmt.Errorf("%w: consumer %d ahead of producer %d", ErrProtocol, cons, e.head))
-		}
-		if cons < e.consSeen {
-			return e.fail(fmt.Errorf("%w: consumer ran backwards", ErrProtocol))
-		}
-		e.consSeen = cons
-		if cons > idx {
-			break
-		}
-		runtime.Gosched()
-		if time.Now().After(deadline) {
-			return ErrTimeout
+	for i := range results {
+		if results[i].err != nil {
+			return results[i].err
 		}
 	}
+	return nil
+}
 
-	status := slots.U32(off + 4) // single fetch
-	e.meter.Check(1)
-	switch status {
-	case StatusOK:
-	case StatusIOError:
-		return fmt.Errorf("%w: lba %d", ErrIO, lba)
-	default:
-		return e.fail(fmt.Errorf("%w: status %d", ErrProtocol, status))
+func allDone(results []pending) bool {
+	for i := range results {
+		if !results[i].done {
+			return false
+		}
 	}
+	return true
+}
 
-	if op == OpRead {
-		if err := e.sh.Data.Read(h, blockdev.SectorSize, out); err != nil {
-			return e.fail(fmt.Errorf("%w: readback: %v", ErrProtocol, err))
+// stageLocked checks one staging slab out of the arena, fills it for
+// writes, and stages the request into the engine (no publication).
+func (e *Endpoint) stageLocked(op uint32, lba uint64, p []byte, i int, res *pending) error {
+	lease, err := newSlabLease(e.sh.Data)
+	if err != nil {
+		// In-flight requests are bounded by the ring (one slab each, and
+		// the arena holds exactly ring-many slabs), so exhaustion here
+		// means our own accounting is corrupt — fatal.
+		return e.fail(fmt.Errorf("%w: staging slab exhausted: %v", ErrProtocol, err))
+	}
+	sec := p[i*blockdev.SectorSize : (i+1)*blockdev.SectorSize]
+	if op == OpWrite {
+		if werr := e.sh.Data.Write(lease.h, sec); werr != nil {
+			lease.Free()
+			return fmt.Errorf("blkring: stage: %w", werr)
 		}
 		e.meter.Copy(blockdev.SectorSize)
 	}
+	d := blkDesc{op: op, lba: lba, res: res}
+	if op == OpRead {
+		d.out = sec
+	}
+	// The descriptor takes over the slab's release obligation here: the
+	// engine owns it until the host returns the slot, and onReturn frees it.
+	d.lease = lease
+	e.eng.Stage(d)
 	return nil
 }
 
@@ -213,7 +464,7 @@ func (e *Endpoint) ReadSector(lba uint64, buf []byte) error {
 	if len(buf) != blockdev.SectorSize {
 		return blockdev.ErrBadSize
 	}
-	return e.submit(OpRead, lba, nil, buf)
+	return e.submit(OpRead, lba, buf)
 }
 
 // WriteSector implements blockdev.Disk.
@@ -221,12 +472,251 @@ func (e *Endpoint) WriteSector(lba uint64, data []byte) error {
 	if len(data) != blockdev.SectorSize {
 		return blockdev.ErrBadSize
 	}
-	return e.submit(OpWrite, lba, data, nil)
+	return e.submit(OpWrite, lba, data)
+}
+
+// ReadSectors implements blockdev.BatchDisk: one batched submission for
+// len(p)/SectorSize contiguous sectors starting at lba.
+func (e *Endpoint) ReadSectors(lba uint64, p []byte) error {
+	if len(p)%blockdev.SectorSize != 0 {
+		return blockdev.ErrBadSize
+	}
+	return e.submit(OpRead, lba, p)
+}
+
+// WriteSectors implements blockdev.BatchDisk.
+func (e *Endpoint) WriteSectors(lba uint64, p []byte) error {
+	if len(p)%blockdev.SectorSize != 0 {
+		return blockdev.ErrBadSize
+	}
+	return e.submit(OpWrite, lba, p)
+}
+
+// WatchProgress implements safering.Watched over the request ring, so
+// one watchdog covers the storage boundary exactly like the network one.
+func (e *Endpoint) WatchProgress() (head, cons uint64, alive bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deadLocked() {
+		return 0, 0, false
+	}
+	head = e.eng.Head()
+	cons = e.sh.Ring.Indexes().LoadCons() // equality-compared only: no trust needed
+	return head, cons, true
+}
+
+// WatchStall implements safering.Watched.
+func (e *Endpoint) WatchStall(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fail(err)
+	e.meter.Stall(1)
+}
+
+// Reincarnate recovers a dead single-queue storage device: the poisoned
+// shared window — ring AND staging arena, including every slab a
+// non-completing host still holds a handle to — is discarded and a fresh
+// one built at the next epoch, under the same quarantine policy as the
+// network ring (ErrQuarantine during backoff, ErrBudgetExhausted —
+// permanently — once the death budget is blown).
+func (e *Endpoint) Reincarnate() (*Shared, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.latch != nil {
+		return nil, fmt.Errorf("blkring: reincarnate: endpoint is one queue of a multi-queue device; recovery is device-wide (use Multi.Reincarnate)")
+	}
+	if !e.deadLocked() {
+		return nil, safering.ErrNotDead
+	}
+	if e.rec == nil {
+		e.rec = safering.NewQuarantine(safering.DefaultRecoveryPolicy())
+	}
+	if err := e.rec.Admit(); err != nil {
+		return nil, err
+	}
+	sh, err := e.rebirthLocked()
+	if err != nil {
+		return nil, err
+	}
+	e.dead, e.deadOp = nil, nil
+	e.meter.Reincarnation(1)
+	return sh, nil
+}
+
+// rebirthLocked replaces the device instance with a fresh one at the
+// next epoch. Quarantined staging slabs (leases parked in the engine for
+// requests the host never completed) vanish with the old arena; the
+// engine drops its parked payloads in Reset.
+func (e *Endpoint) rebirthLocked() (*Shared, error) {
+	sh, err := e.newShared(e.sh.Epoch + 1)
+	if err != nil {
+		return nil, err
+	}
+	e.sh = sh
+	e.eng.Reset(sh.Ring, nil)
+	return sh, nil
+}
+
+// multiStripe is the steering granularity of a multi-queue device:
+// contiguous runs of this many sectors stay on one queue, so batched
+// spans are not shredded sector-by-sector across queues, while any given
+// lba always maps to the same queue (no cross-queue ordering hazards).
+const multiStripe = 16
+
+// Multi aggregates N independent request rings into one device behind a
+// shared DeathLatch: a protocol violation on ANY queue fail-deads the
+// WHOLE storage device, and recovery is device-wide — the same blast
+// radius contract as the multi-queue NIC.
+type Multi struct {
+	queues  []*Endpoint
+	sectors uint64
+
+	mu    sync.Mutex
+	latch *safering.DeathLatch
+	rec   *safering.Quarantine
+}
+
+// NewMulti builds an nq-queue device (nq >= 1), each queue with its own
+// ring, arena, and epoch sequence, all under one death latch.
+func NewMulti(nq, slots int, sectors uint64, meter *platform.Meter) (*Multi, error) {
+	if nq < 1 {
+		return nil, fmt.Errorf("blkring: multi: need at least 1 queue")
+	}
+	latch := &safering.DeathLatch{}
+	m := &Multi{sectors: sectors, latch: latch}
+	for i := 0; i < nq; i++ {
+		q, err := New(slots, sectors, meter)
+		if err != nil {
+			return nil, err
+		}
+		q.latch = latch
+		m.queues = append(m.queues, q)
+	}
+	return m, nil
+}
+
+// Queues returns the per-queue endpoints (index-aligned with Shareds),
+// e.g. for watchdog registration.
+func (m *Multi) Queues() []*Endpoint { return m.queues }
+
+// Shareds returns every queue's current host-visible state.
+func (m *Multi) Shareds() []*Shared {
+	shs := make([]*Shared, len(m.queues))
+	for i, q := range m.queues {
+		shs[i] = q.Shared()
+	}
+	return shs
+}
+
+// Sectors implements blockdev.Disk.
+func (m *Multi) Sectors() uint64 { return m.sectors }
+
+// Dead returns the device-wide fatal error, if any.
+func (m *Multi) Dead() error { return m.latch.Dead() }
+
+// queueFor steers an lba to its queue: stripe-granular and
+// deterministic, so the same sector always rides the same ring.
+func (m *Multi) queueFor(lba uint64) *Endpoint {
+	return m.queues[(lba/multiStripe)%uint64(len(m.queues))]
+}
+
+// ReadSector implements blockdev.Disk.
+func (m *Multi) ReadSector(lba uint64, buf []byte) error {
+	return m.queueFor(lba).ReadSector(lba, buf)
+}
+
+// WriteSector implements blockdev.Disk.
+func (m *Multi) WriteSector(lba uint64, data []byte) error {
+	return m.queueFor(lba).WriteSector(lba, data)
+}
+
+// ReadSectors implements blockdev.BatchDisk, splitting the span at
+// stripe boundaries so each piece is one batched submission on its
+// queue.
+func (m *Multi) ReadSectors(lba uint64, p []byte) error {
+	return m.spanSectors(lba, p, (*Endpoint).ReadSectors)
+}
+
+// WriteSectors implements blockdev.BatchDisk.
+func (m *Multi) WriteSectors(lba uint64, p []byte) error {
+	return m.spanSectors(lba, p, (*Endpoint).WriteSectors)
+}
+
+func (m *Multi) spanSectors(lba uint64, p []byte, op func(*Endpoint, uint64, []byte) error) error {
+	if len(p)%blockdev.SectorSize != 0 {
+		return blockdev.ErrBadSize
+	}
+	for len(p) > 0 {
+		span := multiStripe - lba%multiStripe // sectors to the stripe edge
+		if rem := uint64(len(p) / blockdev.SectorSize); span > rem {
+			span = rem
+		}
+		if err := op(m.queueFor(lba), lba, p[:span*blockdev.SectorSize]); err != nil {
+			return err
+		}
+		lba += span
+		p = p[span*blockdev.SectorSize:]
+	}
+	return nil
+}
+
+// Reincarnate recovers a dead multi-queue storage device as one atomic
+// unit under a single quarantine admission: every queue is reborn at its
+// next epoch and the whole device switches to a FRESH death latch (the
+// old latch stays dead forever, so nothing still holding it can revive
+// or re-kill the new incarnation). Per-queue recovery is deliberately
+// impossible, matching the device-wide blast radius of death.
+func (m *Multi) Reincarnate() ([]*Shared, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latch.Dead() == nil {
+		return nil, safering.ErrNotDead
+	}
+	if m.rec == nil {
+		m.rec = safering.NewQuarantine(safering.DefaultRecoveryPolicy())
+	}
+	if err := m.rec.Admit(); err != nil {
+		return nil, err
+	}
+	for _, q := range m.queues {
+		q.mu.Lock()
+	}
+	defer func() {
+		for _, q := range m.queues {
+			q.mu.Unlock()
+		}
+	}()
+	shs := make([]*Shared, len(m.queues))
+	for i, q := range m.queues {
+		sh, err := q.rebirthLocked()
+		if err != nil {
+			// The device stays dead (old latch untouched) and the
+			// admission stays consumed.
+			return nil, err
+		}
+		shs[i] = sh
+	}
+	fresh := &safering.DeathLatch{}
+	for _, q := range m.queues {
+		q.dead, q.deadOp = nil, nil
+		q.latch = fresh
+	}
+	m.latch = fresh
+	m.queues[0].meter.Reincarnation(1)
+	return shs, nil
+}
+
+// SetRecoveryPolicy installs the device-wide quarantine policy.
+func (m *Multi) SetRecoveryPolicy(p safering.RecoveryPolicy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = safering.NewQuarantine(p)
 }
 
 // Backend is the honest host-side worker: it serves ring requests from a
 // physical disk. Like every honest host component, it validates what it
-// reads (mutual distrust).
+// reads (mutual distrust): a producer index past the ring or an op word
+// from a stale epoch stops the backend instead of being served.
 type Backend struct {
 	sh   *Shared
 	disk blockdev.Disk
@@ -236,12 +726,18 @@ type Backend struct {
 
 	mu   sync.Mutex
 	tail uint64
+	buf  []byte
 	dead error
 }
 
 // NewBackend attaches a disk to the ring's host side.
 func NewBackend(sh *Shared, disk blockdev.Disk) *Backend {
-	return &Backend{sh: sh, disk: disk, stop: make(chan struct{})}
+	return &Backend{
+		sh:   sh,
+		disk: disk,
+		stop: make(chan struct{}),
+		buf:  make([]byte, blockdev.SectorSize),
+	}
 }
 
 // Dead returns the violation that stopped the backend, if any.
@@ -292,8 +788,11 @@ func (b *Backend) Stop() {
 	b.wg.Wait()
 }
 
-// Step serves at most one request. Exported so tests (and adversarial
-// harnesses) can drive the backend deterministically.
+// Step serves every published-but-unserved request and acknowledges the
+// whole sweep with ONE consumer-index store — the host-side half of
+// batch amortization. Exported so tests (and adversarial harnesses) can
+// drive the backend deterministically. Returns whether any request was
+// served.
 func (b *Backend) Step() (bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -304,38 +803,55 @@ func (b *Backend) Step() (bool, error) {
 	if prod-b.tail > b.sh.Ring.NSlots() {
 		return false, fmt.Errorf("%w: producer overclaim", ErrProtocol)
 	}
-	off := b.sh.Ring.SlotOff(b.tail)
+	for ; b.tail < prod; b.tail++ {
+		if err := b.serveLocked(b.tail); err != nil {
+			return false, err
+		}
+	}
+	b.sh.Ring.Indexes().StoreCons(b.tail)
+	return true, nil
+}
+
+// serveLocked executes the request in one slot and writes its
+// epoch-stamped status in place.
+func (b *Backend) serveLocked(pos uint64) error {
+	off := b.sh.Ring.SlotOff(pos)
 	slots := b.sh.Ring.Slots()
 	// Single snapshot of the request.
-	op := slots.U32(off + 0)
+	opw := slots.U32(off + 0)
 	lba := slots.U64(off + 8)
 	h := shmem.Handle(slots.U64(off + 16))
 	length := slots.U32(off + 24)
+
+	if safering.KindEpoch(opw) != safering.EpochTag(b.sh.Epoch) {
+		// A request stamped by another incarnation: an honest host never
+		// serves it (and never writes through a possibly-recycled
+		// handle). Stop, like any other protocol violation.
+		return fmt.Errorf("%w: op word %#x from epoch %d (backend serves epoch %d)",
+			ErrProtocol, opw, safering.KindEpoch(opw), safering.EpochTag(b.sh.Epoch))
+	}
 
 	status := StatusOK
 	if length != blockdev.SectorSize || lba >= b.disk.Sectors() {
 		status = StatusIOError
 	} else {
 		slabOff := b.sh.Data.PeerOffset(h)
-		buf := make([]byte, blockdev.SectorSize)
-		switch op {
+		switch safering.KindCode(opw) {
 		case OpWrite:
-			b.sh.Data.Region().ReadAt(buf, slabOff)
-			if err := b.disk.WriteSector(lba, buf); err != nil {
+			b.sh.Data.Region().ReadAt(b.buf, slabOff)
+			if err := b.disk.WriteSector(lba, b.buf); err != nil {
 				status = StatusIOError
 			}
 		case OpRead:
-			if err := b.disk.ReadSector(lba, buf); err != nil {
+			if err := b.disk.ReadSector(lba, b.buf); err != nil {
 				status = StatusIOError
 			} else {
-				b.sh.Data.Region().WriteAt(buf, slabOff)
+				b.sh.Data.Region().WriteAt(b.buf, slabOff)
 			}
 		default:
 			status = StatusIOError
 		}
 	}
-	slots.SetU32(off+4, status)
-	b.tail++
-	b.sh.Ring.Indexes().StoreCons(b.tail)
-	return true, nil
+	slots.SetU32(off+4, safering.KindWord(status, b.sh.Epoch))
+	return nil
 }

@@ -26,6 +26,53 @@ type Disk interface {
 	Sectors() uint64
 }
 
+// BatchDisk is a disk that can move a contiguous span of sectors in one
+// operation (len(p) a multiple of SectorSize). Transports that amortize
+// per-request cost over a batch — blkring's single index store and
+// doorbell per submission window — implement it; layered disks forward
+// it so the amortization survives stacking.
+type BatchDisk interface {
+	Disk
+	ReadSectors(lba uint64, p []byte) error
+	WriteSectors(lba uint64, p []byte) error
+}
+
+// ReadSectors reads len(p)/SectorSize sectors starting at lba through
+// the batch interface when d supports it, else sector-by-sector.
+func ReadSectors(d Disk, lba uint64, p []byte) error {
+	if len(p)%SectorSize != 0 {
+		return ErrBadSize
+	}
+	if bd, ok := d.(BatchDisk); ok {
+		return bd.ReadSectors(lba, p)
+	}
+	for off := 0; off < len(p); off += SectorSize {
+		if err := d.ReadSector(lba, p[off:off+SectorSize]); err != nil {
+			return err
+		}
+		lba++
+	}
+	return nil
+}
+
+// WriteSectors writes len(p)/SectorSize sectors starting at lba through
+// the batch interface when d supports it, else sector-by-sector.
+func WriteSectors(d Disk, lba uint64, p []byte) error {
+	if len(p)%SectorSize != 0 {
+		return ErrBadSize
+	}
+	if bd, ok := d.(BatchDisk); ok {
+		return bd.WriteSectors(lba, p)
+	}
+	for off := 0; off < len(p); off += SectorSize {
+		if err := d.WriteSector(lba, p[off:off+SectorSize]); err != nil {
+			return err
+		}
+		lba++
+	}
+	return nil
+}
+
 // MemDisk is the honest in-memory disk.
 type MemDisk struct {
 	mu      sync.Mutex

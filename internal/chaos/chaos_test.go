@@ -18,6 +18,10 @@ func TestScriptedFaults(t *testing.T) {
 		"reattach-storm":    FailDead,
 		"mq-cross-kill":     CleanEpoch,
 		"mq-reattach-storm": FailDead,
+		"blk-index-corrupt": CleanEpoch,
+		"blk-host-stall":    CleanEpoch,
+		"blk-slow-host":     CleanEpoch,
+		"blk-epoch-replay":  CleanEpoch,
 	}
 	for _, sc := range Scenarios() {
 		sc := sc

@@ -29,6 +29,10 @@ func Scenarios() []Scenario {
 		{"reattach-storm", runReattachStorm},
 		{"mq-cross-kill", runMQCrossKill},
 		{"mq-reattach-storm", runMQReattachStorm},
+		{"blk-index-corrupt", runBlkIndexCorrupt},
+		{"blk-host-stall", runBlkHostStall},
+		{"blk-slow-host", runBlkSlowHost},
+		{"blk-epoch-replay", runBlkEpochReplay},
 	}
 }
 

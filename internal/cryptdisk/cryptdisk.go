@@ -254,19 +254,9 @@ func (c *CryptDisk) updatePathLocked(lba uint64, newLeaf [32]byte) {
 	c.root = c.meta.node(1)
 }
 
-// ReadSector decrypts and verifies one sector.
-func (c *CryptDisk) ReadSector(lba uint64, buf []byte) error {
-	if len(buf) != blockdev.SectorSize {
-		return blockdev.ErrBadSize
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if lba >= uint64(c.n) {
-		return blockdev.ErrOutOfRange
-	}
-	if err := c.phys.ReadSector(lba, buf); err != nil {
-		return err
-	}
+// finishReadLocked verifies and decrypts one freshly read ciphertext
+// sector in place. Caller holds c.mu and has bounds-checked lba.
+func (c *CryptDisk) finishReadLocked(lba uint64, buf []byte) error {
 	version := c.meta.Version(lba)
 	leaf := c.leafHash(buf, lba, version)
 	c.meter.Check(1)
@@ -286,9 +276,9 @@ func (c *CryptDisk) ReadSector(lba uint64, buf []byte) error {
 	return nil
 }
 
-// WriteSector encrypts and stores one sector and advances the root.
-func (c *CryptDisk) WriteSector(lba uint64, data []byte) error {
-	if len(data) != blockdev.SectorSize {
+// ReadSector decrypts and verifies one sector.
+func (c *CryptDisk) ReadSector(lba uint64, buf []byte) error {
+	if len(buf) != blockdev.SectorSize {
 		return blockdev.ErrBadSize
 	}
 	c.mu.Lock()
@@ -296,25 +286,92 @@ func (c *CryptDisk) WriteSector(lba uint64, data []byte) error {
 	if lba >= uint64(c.n) {
 		return blockdev.ErrOutOfRange
 	}
-	// Verify the current path before replacing it: a host that tampered
-	// with siblings must not trick us into laundering its tree.
-	curBuf := make([]byte, blockdev.SectorSize)
-	if err := c.phys.ReadSector(lba, curBuf); err != nil {
+	if err := c.phys.ReadSector(lba, buf); err != nil {
 		return err
 	}
-	curVersion := c.meta.Version(lba)
-	if err := c.verifyPathLocked(lba, c.leafHash(curBuf, lba, curVersion)); err != nil {
-		return fmt.Errorf("%w: pre-write check, sector %d", err, lba)
+	return c.finishReadLocked(lba, buf)
+}
+
+// ReadSectors implements blockdev.BatchDisk: the physical I/O for the
+// whole contiguous span crosses the storage ring as ONE batched
+// submission (one index store, one completion sweep); verification and
+// decryption stay strictly per sector — batching amortizes transport
+// cost, never trust.
+func (c *CryptDisk) ReadSectors(lba uint64, p []byte) error {
+	if len(p)%blockdev.SectorSize != 0 {
+		return blockdev.ErrBadSize
+	}
+	n := uint64(len(p) / blockdev.SectorSize)
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lba >= uint64(c.n) || n > uint64(c.n)-lba {
+		return blockdev.ErrOutOfRange
+	}
+	if err := blockdev.ReadSectors(c.phys, lba, p); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := c.finishReadLocked(lba+i, p[i*blockdev.SectorSize:(i+1)*blockdev.SectorSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSector encrypts and stores one sector and advances the root.
+func (c *CryptDisk) WriteSector(lba uint64, data []byte) error {
+	if len(data) != blockdev.SectorSize {
+		return blockdev.ErrBadSize
+	}
+	return c.WriteSectors(lba, data)
+}
+
+// WriteSectors implements blockdev.BatchDisk: one batched pre-read of
+// the current ciphertext span, per-sector path verification of ALL
+// sectors before any is replaced (a host that tampered with siblings
+// must not trick us into laundering its tree, and a mid-span integrity
+// failure must not leave a half-written batch), then one batched write
+// of the new ciphertext.
+func (c *CryptDisk) WriteSectors(lba uint64, data []byte) error {
+	if len(data)%blockdev.SectorSize != 0 {
+		return blockdev.ErrBadSize
+	}
+	n := uint64(len(data) / blockdev.SectorSize)
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lba >= uint64(c.n) || n > uint64(c.n)-lba {
+		return blockdev.ErrOutOfRange
+	}
+	cur := make([]byte, len(data))
+	if err := blockdev.ReadSectors(c.phys, lba, cur); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		sec := cur[i*blockdev.SectorSize : (i+1)*blockdev.SectorSize]
+		if err := c.verifyPathLocked(lba+i, c.leafHash(sec, lba+i, c.meta.Version(lba+i))); err != nil {
+			return fmt.Errorf("%w: pre-write check, sector %d", err, lba+i)
+		}
 	}
 
-	version := curVersion + 1
-	ct := make([]byte, blockdev.SectorSize)
+	ct := make([]byte, len(data))
 	copy(ct, data)
-	c.keystream(ct, lba, version)
-	if err := c.phys.WriteSector(lba, ct); err != nil {
+	for i := uint64(0); i < n; i++ {
+		c.keystream(ct[i*blockdev.SectorSize:(i+1)*blockdev.SectorSize], lba+i, c.meta.Version(lba+i)+1)
+	}
+	if err := blockdev.WriteSectors(c.phys, lba, ct); err != nil {
 		return err
 	}
-	c.meta.TamperVersion(lba, version) // regular write path uses the same store
-	c.updatePathLocked(lba, c.leafHash(ct, lba, version))
+	for i := uint64(0); i < n; i++ {
+		version := c.meta.Version(lba+i) + 1
+		sec := ct[i*blockdev.SectorSize : (i+1)*blockdev.SectorSize]
+		c.meta.TamperVersion(lba+i, version) // regular write path uses the same store
+		c.updatePathLocked(lba+i, c.leafHash(sec, lba+i, version))
+	}
 	return nil
 }

@@ -321,8 +321,8 @@ func TestReleaseConcurrentIdempotent(t *testing.T) {
 				// Initial posting plus exactly one repost per frame; any
 				// double release would overshoot.
 				want := uint64(cfg.Slots + rounds)
-				if ep.rxFreeHead != want {
-					t.Fatalf("free-ring head %d, want %d (release not idempotent)", ep.rxFreeHead, want)
+				if ep.rxFree.Head() != want {
+					t.Fatalf("free-ring head %d, want %d (release not idempotent)", ep.rxFree.Head(), want)
 				}
 			}
 		})

@@ -19,6 +19,12 @@ const (
 	KindIndirect = 2
 )
 
+// descCodec encodes the NIC's 16-byte descriptor into its ring slot;
+// both the TX and RX-free producer engines use it.
+type descCodec struct{}
+
+func (descCodec) Encode(r *Ring, idx uint64, d Desc) { r.WriteDesc(idx, d) }
+
 // Endpoint is the guest-TEE side of a safe NIC instance. It is safe for
 // concurrent use; internally one mutex serializes TX state and another RX
 // state, matching one queue pair.
@@ -47,17 +53,21 @@ type Endpoint struct {
 	// from DefaultRecoveryPolicy on first use.
 	rec *reincarnation
 
-	// TX private state (never derived from shared memory).
-	txHead     uint64
-	txConsSeen uint64
-	txFreed    uint64
-	txHandles  [][]shmem.Handle
+	// tx is the generic producer engine driving the TX ring: private
+	// head/consumer accounting, backpressure, batched publication and
+	// monotonic index validation all live there (see engine.go). The
+	// slab handles staged per slot stay here — what a returned slot
+	// means is this endpoint's business, expressed via txReturn.
+	tx        *Engine[Desc]
+	txHandles [][]shmem.Handle
+
+	// rxFree is the producer engine for the RXFree ring (posting empty
+	// receive slabs to the host); nil in Inline mode.
+	rxFree *Engine[Desc]
 
 	// RX private state.
-	rxTail     uint64
-	rxFreeHead uint64
-	rxFreePub  uint64 // RXFree producer index last published to the host
-	slabHeld   []bool // true while the host holds the slab
+	rxTail   uint64
+	slabHeld []bool // true while the host holds the slab
 
 	// pool recycles private receive buffers; framePool recycles RxFrame
 	// headers. Both store pointers so steady-state Get/Put never boxes a
@@ -81,6 +91,8 @@ func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
 	}
 	e := &Endpoint{sh: sh, meter: meter}
 	e.txHandles = make([][]shmem.Handle, cfg.Slots)
+	e.tx = NewEngine[Desc](sh.TX, sh.TXBell, descCodec{}, meter,
+		EngineHooks[Desc]{OnReturn: e.txReturn, Fail: e.fail})
 	e.pool.New = func() any {
 		b := make([]byte, cfg.FrameCap())
 		return &b
@@ -89,6 +101,8 @@ func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
 
 	if cfg.Mode != Inline {
 		e.slabHeld = make([]bool, cfg.Slots)
+		e.rxFree = NewEngine[Desc](sh.RXFree, nil, descCodec{}, meter,
+			EngineHooks[Desc]{Fail: e.fail})
 		// Post every receive slab to the host up front; the whole set is
 		// published with a single index store.
 		for slab := 0; slab < cfg.Slots; slab++ {
@@ -201,17 +215,17 @@ func (e *Endpoint) Send(frame []byte) error {
 	if e.deadLocked() {
 		return e.deadOpLocked()
 	}
-	cons, err := e.reapLocked()
+	cons, err := e.tx.Reap()
 	if err != nil {
 		return err
 	}
-	if e.txHead-cons >= e.sh.TX.NSlots() {
+	if e.tx.Full(cons) {
 		return ErrRingFull
 	}
 	if err := e.stageTXLocked(frame); err != nil {
 		return err
 	}
-	e.publishTXLocked()
+	e.tx.Publish()
 	return nil
 }
 
@@ -237,13 +251,13 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 	if e.deadLocked() {
 		return 0, e.deadOpLocked()
 	}
-	cons, err := e.reapLocked()
+	cons, err := e.tx.Reap()
 	if err != nil {
 		return 0, err
 	}
 	n := 0
 	for _, f := range frames {
-		if e.txHead-cons >= e.sh.TX.NSlots() {
+		if e.tx.Full(cons) {
 			break
 		}
 		if serr := e.stageTXLocked(f); serr != nil {
@@ -251,7 +265,7 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 				break
 			}
 			if n > 0 {
-				e.publishTXLocked()
+				e.tx.Publish()
 			}
 			return n, serr
 		}
@@ -260,18 +274,19 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 	if n == 0 {
 		return 0, ErrRingFull
 	}
-	e.publishTXLocked()
+	e.tx.Publish()
 	return n, nil
 }
 
-// stageTXLocked stages one size-checked frame into the slot at txHead and
-// advances the private head. It does not publish: callers amortize the
-// index store and doorbell over a batch via publishTXLocked.
+// stageTXLocked stages one size-checked frame into the slot at the TX
+// engine's head. It does not publish: callers amortize the index store
+// and doorbell over a batch via the engine's Publish.
 func (e *Endpoint) stageTXLocked(frame []byte) error {
+	head := e.tx.Head()
 	var d Desc
 	switch e.sh.Cfg.Mode {
 	case Inline:
-		e.sh.TX.WriteInline(e.txHead, frame)
+		e.sh.TX.WriteInline(head, frame)
 		e.meter.Copy(len(frame))
 		d = Desc{Len: uint32(len(frame)), Kind: KindWord(KindInline, e.sh.Epoch)}
 	case SharedArea:
@@ -291,10 +306,10 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 			return fmt.Errorf("safering: tx stage: %w", werr)
 		}
 		e.meter.Copy(len(frame))
-		// Reuse the slot's handle slice (reapLocked keeps the capacity):
+		// Reuse the slot's handle slice (txReturn keeps the capacity):
 		// after warm-up the steady-state send path allocates nothing.
-		idx := e.txHead & (e.sh.TX.NSlots() - 1)
-		//ciovet:transfers the slot table owns the slab until reapLocked frees it on host consumption
+		idx := head & (e.sh.TX.NSlots() - 1)
+		//ciovet:transfers the slot table owns the slab until txReturn frees it on host consumption
 		e.txHandles[idx] = append(e.txHandles[idx][:0], h)
 		d = Desc{Len: uint32(len(frame)), Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(h)}
 	case Indirect:
@@ -304,19 +319,8 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 			return derr
 		}
 	}
-	e.sh.TX.WriteDesc(e.txHead, d)
-	e.txHead++
+	e.tx.Stage(d)
 	return nil
-}
-
-// publishTXLocked makes every staged TX slot visible to the host with one
-// index store and at most one doorbell ring.
-func (e *Endpoint) publishTXLocked() {
-	e.sh.TX.Indexes().StoreProd(e.txHead)
-	e.meter.Publish(1)
-	if e.sh.TXBell != nil {
-		e.sh.TXBell.Ring()
-	}
 }
 
 // stageIndirectLocked splits the frame into data-area segments and fills
@@ -327,8 +331,8 @@ func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
 	if nseg > e.sh.Cfg.Segments {
 		return Desc{}, fmt.Errorf("%w: needs %d segments > %d", ErrFrameSize, nseg, e.sh.Cfg.Segments)
 	}
-	idx := e.txHead & (e.sh.TX.NSlots() - 1)
-	// Reuse the slot's handle slice across ring wraps (reapLocked keeps
+	idx := e.tx.Head() & (e.sh.TX.NSlots() - 1)
+	// Reuse the slot's handle slice across ring wraps (txReturn keeps
 	// the capacity) so steady-state indirect staging allocates nothing.
 	handles := e.txHandles[idx][:0]
 	free := func() {
@@ -360,30 +364,22 @@ func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
 	return Desc{Len: uint32(len(frame)), Kind: KindWord(KindIndirect, e.sh.Epoch), Ref: idx}, nil
 }
 
-// reapLocked observes the host's TX consumer index, validates it, and
-// frees the data slabs of every newly consumed slot. It returns the
-// validated consumer index.
-func (e *Endpoint) reapLocked() (uint64, error) {
-	cons := e.sh.TX.Indexes().LoadCons()
-	e.meter.Check(1)
-	if err := e.sh.TX.checkPeerCons(cons, e.txHead, e.txConsSeen); err != nil {
-		return 0, e.fail(err)
-	}
-	e.txConsSeen = cons
-	for ; e.txFreed < cons; e.txFreed++ {
-		idx := e.txFreed & (e.sh.TX.NSlots() - 1)
-		for _, h := range e.txHandles[idx] {
-			// The handle came from our private record, so a free failure
-			// means our own state is corrupt — fatal.
-			if err := e.sh.TXData.HandleFree(shmem.FreeMsg{H: h}); err != nil {
-				return 0, e.fail(fmt.Errorf("%w: tx slab free: %v", ErrProtocol, err))
-			}
+// txReturn is the TX engine's OnReturn hook: the host consumed the slot
+// at pos, so its data slabs come home. Caller (the engine, under e.mu)
+// guarantees in-order, exactly-once delivery.
+func (e *Endpoint) txReturn(pos uint64, _ Desc) error {
+	idx := pos & (e.sh.TX.NSlots() - 1)
+	for _, h := range e.txHandles[idx] {
+		// The handle came from our private record, so a free failure
+		// means our own state is corrupt — fatal.
+		if err := e.sh.TXData.HandleFree(shmem.FreeMsg{H: h}); err != nil {
+			return fmt.Errorf("%w: tx slab free: %v", ErrProtocol, err)
 		}
-		// Keep the slice capacity: the next stage of this slot reuses it
-		// instead of allocating (the zero-allocation steady state).
-		e.txHandles[idx] = e.txHandles[idx][:0]
 	}
-	return cons, nil
+	// Keep the slice capacity: the next stage of this slot reuses it
+	// instead of allocating (the zero-allocation steady state).
+	e.txHandles[idx] = e.txHandles[idx][:0]
+	return nil
 }
 
 // Reap frees completed transmit buffers without sending. Callers that
@@ -394,7 +390,7 @@ func (e *Endpoint) Reap() error {
 	if e.deadLocked() {
 		return e.deadOpLocked()
 	}
-	_, err := e.reapLocked()
+	_, err := e.tx.Reap()
 	return err
 }
 
@@ -470,18 +466,16 @@ func (e *Endpoint) newFrameLocked(data []byte, pooled *[]byte, slab int) *RxFram
 // index store.
 func (e *Endpoint) stageSlabLocked(slab int) {
 	e.slabHeld[slab] = true
-	e.sh.RXFree.WriteDesc(e.rxFreeHead, Desc{Len: platform.PageSize, Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(slab)})
-	e.rxFreeHead++
+	e.rxFree.Stage(Desc{Len: platform.PageSize, Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(slab)})
 }
 
-// publishFreeLocked publishes every staged-but-unpublished receive slab.
+// publishFreeLocked publishes every staged-but-unpublished receive slab
+// (a no-op inside the engine when nothing new was staged; no free ring
+// exists in Inline mode).
 func (e *Endpoint) publishFreeLocked() {
-	if e.rxFreePub == e.rxFreeHead {
-		return
+	if e.rxFree != nil {
+		e.rxFree.Publish()
 	}
-	e.sh.RXFree.Indexes().StoreProd(e.rxFreeHead)
-	e.rxFreePub = e.rxFreeHead
-	e.meter.Publish(1)
 }
 
 // postSlab publishes one empty receive slab to the host. Caller holds

@@ -142,6 +142,24 @@ func (r *reincarnation) admit() error {
 	return nil
 }
 
+// Quarantine is the exported face of the reincarnation state machine, so
+// other device classes built on the generic ring engine (blkring) share
+// the exact admission policy — exponential jittered backoff, sliding
+// death budget, sticky permanence — instead of growing a parallel weaker
+// copy. Not self-locking: the owning device's mutex serializes Admit.
+type Quarantine struct{ r *reincarnation }
+
+// NewQuarantine builds a quarantine from the policy (zero-value fields
+// take the defaults of DefaultRecoveryPolicy).
+func NewQuarantine(p RecoveryPolicy) *Quarantine {
+	return &Quarantine{r: newReincarnation(p)}
+}
+
+// Admit decides whether one reincarnation may proceed now, recording the
+// death and arming the backoff on success. Errors are ErrQuarantine
+// (retry after backoff) or ErrBudgetExhausted (permanent).
+func (q *Quarantine) Admit() error { return q.r.admit() }
+
 // SetRecoveryPolicy installs the quarantine policy governing Reincarnate,
 // replacing any accumulated quarantine state. Call it at device setup;
 // the default is DefaultRecoveryPolicy.
@@ -209,11 +227,14 @@ func (e *Endpoint) rebirthLocked() (*Shared, error) {
 
 	// Reset all private protocol state. Un-reaped TX slabs belonged to
 	// the old arena and vanish with it.
-	e.txHead, e.txConsSeen, e.txFreed = 0, 0, 0
+	e.tx.Reset(sh.TX, sh.TXBell)
 	for i := range e.txHandles {
 		e.txHandles[i] = nil
 	}
-	e.rxTail, e.rxFreeHead, e.rxFreePub = 0, 0, 0
+	e.rxTail = 0
+	if e.rxFree != nil {
+		e.rxFree.Reset(sh.RXFree, nil)
+	}
 	if e.slabHeld != nil {
 		for i := range e.slabHeld {
 			e.slabHeld[i] = false

@@ -51,15 +51,30 @@ type wdState struct {
 	obligedAt time.Time // when the current obligation started aging
 }
 
-// Watchdog watches one or more endpoints (the queues of one device, or
-// several devices) for host stalls. It reads only two values per queue —
-// the private txHead and the shared consumer index — and compares them
-// for equality, so it trusts nothing the host writes: a garbage index is
-// either "work pending" (ages toward a stall) or caught as a protocol
-// violation by the next real operation.
+// Watched is anything the watchdog can age toward a stall: a producer
+// ring whose peer owes progress. Every device class built on the generic
+// ring engine implements it (the network Endpoint over its TX ring,
+// blkring over its request ring), so one watchdog covers every boundary.
+type Watched interface {
+	// WatchProgress snapshots the private producer head and the shared
+	// consumer index (equality-compared only by the watchdog — no trust
+	// needed), and whether the device is still alive. Implementations
+	// take their own lock.
+	WatchProgress() (head, cons uint64, alive bool)
+	// WatchStall fail-deads the device with the stall as cause and
+	// meters the detection.
+	WatchStall(err error)
+}
+
+// Watchdog watches one or more producer rings (the queues of one device,
+// or several devices) for host stalls. It reads only two values per
+// queue — the private head and the shared consumer index — and compares
+// them for equality, so it trusts nothing the host writes: a garbage
+// index is either "work pending" (ages toward a stall) or caught as a
+// protocol violation by the next real operation.
 type Watchdog struct {
 	cfg WatchdogConfig
-	eps []*Endpoint
+	eps []Watched
 
 	mu     sync.Mutex
 	states []wdState
@@ -70,10 +85,10 @@ type Watchdog struct {
 	wg       sync.WaitGroup
 }
 
-// NewWatchdog builds a watchdog over the given endpoints without
+// NewWatchdog builds a watchdog over the given devices without
 // starting the background scanner; callers either Start it or drive
 // Poll themselves (tests, the chaos harness).
-func NewWatchdog(cfg WatchdogConfig, eps ...*Endpoint) *Watchdog {
+func NewWatchdog(cfg WatchdogConfig, eps ...Watched) *Watchdog {
 	def := DefaultWatchdogConfig()
 	if cfg.Interval <= 0 {
 		cfg.Interval = def.Interval
@@ -96,7 +111,32 @@ func NewWatchdog(cfg WatchdogConfig, eps ...*Endpoint) *Watchdog {
 // device. One stalled queue fail-deads the whole device through the
 // shared latch, exactly like any other violation.
 func WatchDevice(cfg WatchdogConfig, m *MultiEndpoint) *Watchdog {
-	return NewWatchdog(cfg, m.queues...)
+	eps := make([]Watched, len(m.queues))
+	for i, q := range m.queues {
+		eps[i] = q
+	}
+	return NewWatchdog(cfg, eps...)
+}
+
+// WatchProgress implements Watched over the network endpoint's TX ring.
+func (e *Endpoint) WatchProgress() (head, cons uint64, alive bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deadLocked() {
+		return 0, 0, false
+	}
+	head = e.tx.Head()
+	cons = e.sh.TX.Indexes().LoadCons() // equality-compared only: no trust needed
+	return head, cons, true
+}
+
+// WatchStall implements Watched: the stall kills the endpoint (and,
+// through the latch, its whole device).
+func (e *Endpoint) WatchStall(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fail(err)
+	e.meter.Stall(1)
 }
 
 // Start launches the background scanner. Stop joins it.
@@ -141,14 +181,11 @@ func (w *Watchdog) Poll() {
 	defer w.mu.Unlock()
 	for i, e := range w.eps {
 		st := &w.states[i]
-		e.mu.Lock()
-		if e.deadLocked() {
+		head, cons, alive := e.WatchProgress()
+		if !alive {
 			st.obliged = false
-			e.mu.Unlock()
 			continue
 		}
-		head := e.txHead
-		cons := e.sh.TX.Indexes().LoadCons() // equality-compared only: no trust needed
 		switch {
 		case cons == head:
 			// No obligation: the host consumed everything published.
@@ -157,14 +194,11 @@ func (w *Watchdog) Poll() {
 			// New obligation, or the host made progress: restart the clock.
 			st.obliged, st.obligedAt = true, now
 		case now.Sub(st.obligedAt) >= w.cfg.StallAfter:
-			err := fmt.Errorf("%w: tx consumer frozen at %d (head %d) for %v",
-				ErrStalled, cons, head, now.Sub(st.obligedAt))
-			e.fail(err)
-			e.meter.Stall(1)
+			e.WatchStall(fmt.Errorf("%w: consumer frozen at %d (head %d) for %v",
+				ErrStalled, cons, head, now.Sub(st.obligedAt)))
 			w.stalls++
 			st.obliged = false
 		}
 		st.lastCons = cons
-		e.mu.Unlock()
 	}
 }

@@ -230,13 +230,20 @@ func (fs *FS) Create(name string, capacity int64) error {
 	if err != nil {
 		return err
 	}
-	// Zero the extent: reused sectors must never leak a deleted file's
-	// contents into the new file's unwritten ranges.
-	zero := make([]byte, blockdev.SectorSize)
-	for s := start; s < start+capSc; s++ {
-		if err := fs.d.WriteSector(s, zero); err != nil {
+	// Zero the extent in batched spans: reused sectors must never leak a
+	// deleted file's contents into the new file's unwritten ranges, and
+	// over a batch-capable disk each span is one ring submission.
+	const zeroSpan = 16
+	zero := make([]byte, zeroSpan*blockdev.SectorSize)
+	for s := start; s < start+capSc; {
+		n := start + capSc - s
+		if n > zeroSpan {
+			n = zeroSpan
+		}
+		if err := blockdev.WriteSectors(fs.d, s, zero[:n*blockdev.SectorSize]); err != nil {
 			return err
 		}
+		s += n
 	}
 	fs.table[slot] = entry{used: true, name: name, size: 0, start: start, capSc: capSc}
 	return fs.flushEntry(slot)
@@ -259,14 +266,24 @@ func (fs *FS) Write(name string, off int64, p []byte) error {
 	for len(p) > 0 {
 		sc := e.start + uint64(off/blockdev.SectorSize)
 		inOff := int(off % blockdev.SectorSize)
+		if inOff == 0 && len(p) >= blockdev.SectorSize {
+			// Sector-aligned run: hand the whole span to the disk in one
+			// batched write (one ring submission over blkring) with no
+			// read-modify-write and no staging copy.
+			run := len(p) / blockdev.SectorSize * blockdev.SectorSize
+			if err := blockdev.WriteSectors(fs.d, sc, p[:run]); err != nil {
+				return err
+			}
+			p = p[run:]
+			off += int64(run)
+			continue
+		}
 		n := blockdev.SectorSize - inOff
 		if n > len(p) {
 			n = len(p)
 		}
-		if inOff != 0 || n != blockdev.SectorSize {
-			if err := fs.d.ReadSector(sc, buf); err != nil {
-				return err
-			}
+		if err := fs.d.ReadSector(sc, buf); err != nil {
+			return err
 		}
 		copy(buf[inOff:], p[:n])
 		if err := fs.d.WriteSector(sc, buf); err != nil {
@@ -303,6 +320,18 @@ func (fs *FS) Read(name string, off int64, p []byte) (int, error) {
 	for len(p) > 0 {
 		sc := e.start + uint64(off/blockdev.SectorSize)
 		inOff := int(off % blockdev.SectorSize)
+		if inOff == 0 && len(p) >= blockdev.SectorSize {
+			// Sector-aligned run: one batched read straight into the
+			// caller's buffer, no per-sector bounce.
+			run := len(p) / blockdev.SectorSize * blockdev.SectorSize
+			if err := blockdev.ReadSectors(fs.d, sc, p[:run]); err != nil {
+				return total, err
+			}
+			p = p[run:]
+			off += int64(run)
+			total += run
+			continue
+		}
 		if err := fs.d.ReadSector(sc, buf); err != nil {
 			return total, err
 		}

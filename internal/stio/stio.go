@@ -35,6 +35,7 @@ import (
 	"confio/internal/cryptdisk"
 	"confio/internal/observe"
 	"confio/internal/platform"
+	"confio/internal/safering"
 	"confio/internal/sfs"
 	"confio/internal/tcb"
 	"confio/internal/workload"
@@ -65,7 +66,7 @@ type FileOps interface {
 var (
 	compSFS    = tcb.Component{Name: "sfs", LoC: 280, Role: "filesystem"}
 	compCrypt  = tcb.Component{Name: "cryptdisk", LoC: 220, Role: "at-rest encryption + merkle"}
-	compBlk    = tcb.Component{Name: "blkring", LoC: 220, Role: "safe block ring"}
+	compBlk    = tcb.Component{Name: "blkring", LoC: 599, Role: "safe block ring on the generic engine"}
 	compSeal   = tcb.Component{Name: "record-seal", LoC: 90, Role: "app-level record AEAD"}
 	compFShim  = tcb.Component{Name: "hostfile-shim", LoC: 100, Role: "file-op proxy"}
 	compAppOnl = []tcb.Component{tcb.CompApp}
@@ -138,9 +139,16 @@ func NewWorld(id DesignID) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
+		ep.SetRecoveryPolicy(safering.DefaultRecoveryPolicy())
 		be := blkring.NewBackend(ep.Shared(), obsDisk)
 		be.Start()
 		w.closers = append(w.closers, be.Stop)
+		// The storage boundary gets the same host-stall coverage as the
+		// network one: the generic watchdog ages the request ring's
+		// consumer index and fail-deads the device on a freeze.
+		wd := safering.NewWatchdog(safering.DefaultWatchdogConfig(), ep)
+		wd.Start()
+		w.closers = append(w.closers, wd.Stop)
 
 		cd, meta, err := cryptdisk.Format(ep, volumeSectors, []byte("volume-"+string(id)), w.Meter)
 		if err != nil {
