@@ -4,7 +4,7 @@ GO ?= go
 # cross-goroutine shared state (rings, slab pools, the core datapath).
 RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos ./internal/blkring
 
-.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq bench-blk chaos check
+.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq bench-blk bench-notify chaos check
 
 all: build
 
@@ -54,6 +54,14 @@ bench-mq:
 # read-back spans); the machine-readable stream lands in BENCH_blk.json.
 bench-blk:
 	$(GO) test -run '^$$' -bench 'BenchmarkBlk_' -benchmem -json . | tee BENCH_blk.json
+
+# Notification-suppression sweep at batch 1 (doorbell baseline vs
+# event-idx armed/suppressed/busy-poll), with p50/p99/p999 round-trip
+# latency from the meter's histogram; the machine-readable stream lands
+# in BENCH_notify.json. Override BENCHTIME for a CI smoke run.
+BENCHTIME ?= 1s
+bench-notify:
+	$(GO) test -run '^$$' -bench 'BenchmarkNotify_' -benchtime $(BENCHTIME) -benchmem -json . | tee BENCH_notify.json
 
 # Chaos-host fault injection: scripted fault scenarios plus seeded-random
 # storms, each asserting the recovery invariant (clean new epoch or

@@ -12,6 +12,7 @@
 //	ciobench -design dual-boundary -v
 //	ciobench -batch          # batched-datapath amortization table
 //	ciobench -queues         # multi-queue scaling table (queues x batch)
+//	ciobench -lat            # batch-1 notification modes with tail latency
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"confio/internal/core"
 	"confio/internal/platform"
@@ -37,6 +39,7 @@ func main() {
 	batch := flag.Bool("batch", false, "sweep batch sizes over the safe ring's batched datapath")
 	queues := flag.Bool("queues", false, "sweep queue counts over the multi-queue ring datapath")
 	blk := flag.Bool("blk", false, "sweep batch x queues over the storage ring")
+	lat := flag.Bool("lat", false, "batch-1 notification-mode table with round-trip tail latency")
 	flag.Parse()
 
 	if *storage {
@@ -57,6 +60,10 @@ func main() {
 	}
 	if *blk {
 		runBlk()
+		return
+	}
+	if *lat {
+		runLat()
 		return
 	}
 
@@ -206,6 +213,100 @@ func batchRun(mode safering.DataMode, batch int) (notif, pub, modelNs float64, e
 	moved := float64(2 * rounds * batch)
 	return float64(d.Notifications) / moved, float64(d.IndexPublishes) / moved,
 		d.ModelNanos(platform.DefaultCostParams()) / moved, nil
+}
+
+// runLat prints the batch-1 notification-mode table: for the always-ring
+// doorbell baseline and the event-idx modes (re-armed every drain,
+// suppressed under sustained load, suppressed with busy-poll receive),
+// the doorbell crossings and suppressions per frame plus wall-clock
+// round-trip p50/p99/p999 from the meter's latency histogram. This is
+// the single-frame latency-sensitive regime where batching cannot help;
+// suppression is what removes the per-frame doorbell there.
+func runLat() {
+	fmt.Println("== batch-1 notification modes: crossings and round-trip tail latency ==")
+	fmt.Printf("%-22s %13s %17s %9s %9s %9s\n",
+		"mode", "notif/frame", "suppressed/frame", "p50(us)", "p99(us)", "p999(us)")
+	modes := []struct {
+		name                  string
+		eventIdx, supp, rearm bool
+	}{
+		{"doorbell", false, false, false},
+		{"event-idx-armed", true, false, true},
+		{"event-idx-suppressed", true, true, false},
+		{"event-idx-busy-poll", true, true, false},
+	}
+	for _, md := range modes {
+		notif, supp, lat, err := latRun(md.eventIdx, md.supp, md.rearm, md.name == "event-idx-busy-poll")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciobench: %s: %v\n", md.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s %13.4f %17.4f %9.2f %9.2f %9.2f\n", md.name, notif, supp,
+			float64(lat.P50)/1e3, float64(lat.P99)/1e3, float64(lat.P999)/1e3)
+	}
+	fmt.Println("\nreading: the doorbell baseline pays one notification per frame at batch 1;")
+	fmt.Println("a single suppression call elides all of them under sustained load (the stale")
+	fmt.Println("threshold never re-crosses), and the tail tightens with the doorbell gone.")
+}
+
+// latRun drives batch-1 bidirectional round trips through one safe-ring
+// instance and returns per-frame notification readings plus the latency
+// percentile summary.
+func latRun(eventIdx, suppress, rearm, busyPoll bool) (notif, supp float64, lat platform.LatencySummary, err error) {
+	cfg := safering.DefaultConfig()
+	cfg.Notify = true
+	cfg.EventIdx = eventIdx
+	if busyPoll {
+		cfg.BusyPoll = 64
+	}
+	var m platform.Meter
+	ep, err := safering.New(cfg, &m)
+	if err != nil {
+		return 0, 0, lat, err
+	}
+	hp := safering.NewHostPort(ep.Shared())
+	if suppress {
+		hp.SuppressTXNotify()
+		ep.SuppressRXNotify()
+	}
+	payload := make([]byte, 1400)
+	buf := make([]byte, cfg.FrameCap())
+	const rounds = 4096
+	before := m.Snapshot()
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if serr := ep.Send(payload); serr != nil {
+			return 0, 0, lat, serr
+		}
+		if _, perr := hp.Pop(buf); perr != nil {
+			return 0, 0, lat, perr
+		}
+		if rearm {
+			hp.ArmTXNotify()
+		}
+		if perr := hp.Push(payload); perr != nil {
+			return 0, 0, lat, perr
+		}
+		var rx *safering.RxFrame
+		var rerr error
+		if busyPoll {
+			rx, rerr = ep.RecvPoll()
+		} else {
+			rx, rerr = ep.Recv()
+		}
+		if rerr != nil {
+			return 0, 0, lat, rerr
+		}
+		rx.Release()
+		if rearm {
+			ep.ArmRXNotify()
+		}
+		m.RecordLatency(time.Since(start))
+	}
+	d := m.Snapshot().Sub(before)
+	moved := float64(2 * rounds)
+	return float64(d.Notifications) / moved, float64(d.NotifsSuppressed) / moved,
+		m.LatencyPercentiles(), nil
 }
 
 // runMQ prints the multi-queue scaling table: for each queue count and

@@ -70,6 +70,7 @@ const (
 	AtkReplay          = "replay-completion"
 	AtkForgedHandle    = "forged-handle"
 	AtkNotifStorm      = "notification-storm"
+	AtkEventIdxLie     = "event-idx-lie"
 	AtkFeatureTOCTOU   = "feature-toctou"
 	AtkStaleMemory     = "stale-memory-leak"
 	AtkStatusCorrupt   = "status-corrupt"
@@ -82,9 +83,9 @@ const (
 // AttackNames in matrix order.
 var AttackNames = []string{
 	AtkIndexOverclaim, AtkIndexRewind, AtkLengthLie, AtkDoubleFetch,
-	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkFeatureTOCTOU,
-	AtkStaleMemory, AtkStatusCorrupt, AtkQueueCrossKill, AtkEpochReplay,
-	AtkReattachStorm, AtkL5AfterL2Breach,
+	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkEventIdxLie,
+	AtkFeatureTOCTOU, AtkStaleMemory, AtkStatusCorrupt, AtkQueueCrossKill,
+	AtkEpochReplay, AtkReattachStorm, AtkL5AfterL2Breach,
 }
 
 // TransportNames in matrix order.

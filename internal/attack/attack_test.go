@@ -102,6 +102,9 @@ func TestSuiteCoverage(t *testing.T) {
 			if (atk == AtkEpochReplay || atk == AtkReattachStorm) && !engineTr {
 				continue // recovery is a safe-ring feature; baselines have no Reincarnate
 			}
+			if atk == AtkEventIdxLie && !engineTr {
+				continue // event-idx suppression exists only on the engine transports
+			}
 			if atk == AtkStatusCorrupt && tr != "blkring" {
 				continue // status words are a storage-ring surface
 			}

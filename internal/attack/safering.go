@@ -232,6 +232,63 @@ func saferingScenarios() []Scenario {
 				rx.Release()
 				return blocked(AtkNotifStorm, v.name, "doorbells coalesce; handlers stateless/idempotent")
 			}},
+			Scenario{AtkEventIdxLie, v.name, func() Result {
+				// An event-idx device: the host scribbles garbage and
+				// rolled-back wake thresholds into both event words while
+				// traffic runs. The words feed a wrap-compare only, so the
+				// lie can shift notification timing but must never corrupt
+				// state or kill a polling guest.
+				cfg := safering.DefaultConfig()
+				cfg.Mode = v.mode
+				cfg.RX = v.rx
+				cfg.SlotSize = 64
+				cfg.Notify = true
+				cfg.EventIdx = true
+				var ep *safering.Endpoint
+				var hp *safering.HostPort
+				if v.queues > 1 {
+					m, err := safering.NewMulti(cfg, v.queues, nil)
+					if err != nil {
+						panic(err)
+					}
+					ep = m.Queue(0)
+					hp = safering.NewMultiHostPort(m.SharedQueues()).Queue(0)
+				} else {
+					e, err := safering.New(cfg, nil)
+					if err != nil {
+						panic(err)
+					}
+					ep, hp = e, safering.NewHostPort(e.Shared())
+				}
+				buf := make([]byte, ep.Config().FrameCap())
+				garbage := []uint64{^uint64(0), 1 << 63, 5, 0}
+				for i := 0; i < 32; i++ {
+					ep.Shared().TX.Indexes().StoreEvent(garbage[i%len(garbage)])
+					ep.Shared().RXUsed.Indexes().StoreEvent(garbage[(i+1)%len(garbage)])
+					if err := ep.Send(frame(64, byte(i))); err != nil {
+						return compromised(AtkEventIdxLie, v.name, "send died under lying threshold: "+err.Error())
+					}
+					if _, err := hp.Pop(buf); err != nil {
+						return compromised(AtkEventIdxLie, v.name, "pop died under lying threshold: "+err.Error())
+					}
+					want := frame(96, byte(i))
+					if err := hp.Push(want); err != nil {
+						return compromised(AtkEventIdxLie, v.name, "push died under lying threshold: "+err.Error())
+					}
+					rx, err := ep.Recv()
+					if err != nil {
+						return compromised(AtkEventIdxLie, v.name, "recv died under lying threshold: "+err.Error())
+					}
+					if !bytes.Equal(rx.Bytes(), want) {
+						return compromised(AtkEventIdxLie, v.name, "lying threshold corrupted delivery")
+					}
+					rx.Release()
+				}
+				if err := ep.Dead(); err != nil {
+					return compromised(AtkEventIdxLie, v.name, "lying threshold killed the device: "+err.Error())
+				}
+				return blocked(AtkEventIdxLie, v.name, "event word feeds a wrap-compare only: timing shifted, state intact")
+			}},
 			Scenario{AtkFeatureTOCTOU, v.name, func() Result {
 				return na(AtkFeatureTOCTOU, v.name, "zero-negotiation: no control plane exists")
 			}},

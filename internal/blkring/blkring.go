@@ -75,6 +75,11 @@ type Shared struct {
 	Ring  *safering.Ring // 32-byte slots; we use the raw region
 	Data  *shmem.Arena   // sector staging slabs
 	Epoch uint32         // incarnation; stamped into every op/status word
+	// SubBell, when non-nil, is the guest->host submission doorbell of a
+	// notify-enabled device (see Endpoint.EnableNotify); nil in the
+	// default pure-polling configuration. Like every doorbell it carries
+	// no data: the backend still validates everything it reads.
+	SubBell *safering.Doorbell
 }
 
 // slabLease is one staging slab checked out of the shared data arena for
@@ -160,6 +165,10 @@ type Endpoint struct {
 	rec     *safering.Quarantine
 	clock   func() time.Time
 	timeout time.Duration
+	// notify/eventIdx: deployment-fixed notification configuration (see
+	// EnableNotify); every incarnation inherits it.
+	notify   bool
+	eventIdx bool
 }
 
 // New builds a guest endpoint for a backing disk of `sectors` sectors
@@ -192,7 +201,29 @@ func (e *Endpoint) newShared(epoch uint32) (*Shared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Shared{Ring: ring, Data: arena, Epoch: epoch}, nil
+	sh := &Shared{Ring: ring, Data: arena, Epoch: epoch}
+	if e.notify {
+		sh.SubBell = safering.NewDoorbell(e.meter)
+	}
+	return sh, nil
+}
+
+// EnableNotify switches the device from pure polling to a guest->host
+// submission doorbell, with optional event-idx suppression (the backend
+// publishes a wake threshold in the ring's event word; Publish elides
+// the bell while the backend actively polls). Deployment-fixed like
+// every protocol parameter: call once, immediately after New and before
+// any I/O — it rebinds the engine, discarding protocol state. Every
+// later incarnation inherits the configuration.
+func (e *Endpoint) EnableNotify(eventIdx bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.notify, e.eventIdx = true, eventIdx
+	if e.sh.SubBell == nil {
+		e.sh.SubBell = safering.NewDoorbell(e.meter)
+	}
+	e.eng.Reset(e.sh.Ring, e.sh.SubBell)
+	e.eng.SetEventIdx(eventIdx)
 }
 
 // Shared exposes the host-visible state. After a reincarnation it
@@ -548,12 +579,16 @@ func (e *Endpoint) Reincarnate() (*Shared, error) {
 // requests the host never completed) vanish with the old arena; the
 // engine drops its parked payloads in Reset.
 func (e *Endpoint) rebirthLocked() (*Shared, error) {
+	old := e.sh
 	sh, err := e.newShared(e.sh.Epoch + 1)
 	if err != nil {
 		return nil, err
 	}
 	e.sh = sh
-	e.eng.Reset(sh.Ring, nil)
+	// Seal the dead incarnation's bell (nil-safe): a backend still
+	// holding it must not be woken by — or wake on — the new device.
+	old.SubBell.Seal()
+	e.eng.Reset(sh.Ring, sh.SubBell)
 	return sh, nil
 }
 
@@ -598,6 +633,15 @@ func NewMulti(nq, slots int, sectors uint64, meter *platform.Meter) (*Multi, err
 // Queues returns the per-queue endpoints (index-aligned with Shareds),
 // e.g. for watchdog registration.
 func (m *Multi) Queues() []*Endpoint { return m.queues }
+
+// EnableNotify enables the submission doorbell (and optional event-idx
+// suppression) on every queue. Same contract as Endpoint.EnableNotify:
+// once, right after NewMulti, before any I/O.
+func (m *Multi) EnableNotify(eventIdx bool) {
+	for _, q := range m.queues {
+		q.EnableNotify(eventIdx)
+	}
+}
 
 // Shareds returns every queue's current host-visible state.
 func (m *Multi) Shareds() []*Shared {
@@ -747,12 +791,43 @@ func (b *Backend) Dead() error {
 	return b.dead
 }
 
+// Backend idle ladder: spin backendSpinIdle empty polls, then (on a
+// notify-enabled device) arm the wake threshold and sleep in bounded
+// exponential steps. The bell wait is always time-bounded — the guest
+// controls when the bell rings (and can publish a garbage event index),
+// never whether the backend keeps serving or can be collected.
+const (
+	backendSpinIdle = 64
+	backendSleepMin = 20 * time.Microsecond
+	backendSleepMax = 200 * time.Microsecond
+)
+
+// armNotify publishes the backend's wake threshold in the ring's event
+// word and reports whether requests already wait (the lost-wakeup
+// recheck: poll again instead of blocking).
+func (b *Backend) armNotify() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sh.Ring.Indexes().StoreEvent(b.tail)
+	return b.sh.Ring.Indexes().LoadProd() != b.tail
+}
+
+// suppressNotify withdraws the threshold while the backend actively
+// polls, eliding guest submission doorbells under sustained load.
+func (b *Backend) suppressNotify() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sh.Ring.Indexes().StoreEvent(b.tail - 1)
+}
+
 // Start launches the service loop.
 func (b *Backend) Start() {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		notify := b.sh.SubBell != nil
 		idle := 0
+		armed := false
 		for {
 			select {
 			case <-b.stop:
@@ -767,13 +842,43 @@ func (b *Backend) Start() {
 				return
 			}
 			if worked {
+				if armed {
+					b.suppressNotify()
+					armed = false
+				}
 				idle = 0
 				continue
 			}
 			idle++
-			if idle > 64 {
-				time.Sleep(20 * time.Microsecond)
+			if idle <= backendSpinIdle {
+				continue
 			}
+			d := backendSleepMin
+			for i := backendSpinIdle + 1; i < idle && d < backendSleepMax; i++ {
+				d *= 2
+			}
+			if d > backendSleepMax {
+				d = backendSleepMax
+			}
+			if !notify {
+				time.Sleep(d)
+				continue
+			}
+			if !armed {
+				if b.armNotify() {
+					continue // work raced in while arming: poll again
+				}
+				armed = true
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-b.stop:
+				t.Stop()
+				return
+			case <-b.sh.SubBell.Chan():
+			case <-t.C:
+			}
+			t.Stop()
 		}
 	}()
 }

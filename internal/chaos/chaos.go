@@ -123,6 +123,19 @@ type Device struct {
 func NewDevice(notify bool) *Device {
 	cfg := safering.DefaultConfig()
 	cfg.Notify = notify
+	return newDevice(cfg)
+}
+
+// NewEventIdxDevice builds a notify device with event-idx suppression
+// enabled, for scenarios that stress the adaptive notification path.
+func NewEventIdxDevice() *Device {
+	cfg := safering.DefaultConfig()
+	cfg.Notify = true
+	cfg.EventIdx = true
+	return newDevice(cfg)
+}
+
+func newDevice(cfg safering.DeviceConfig) *Device {
 	clk := NewClock()
 	meter := &platform.Meter{}
 	ep, err := safering.New(cfg, meter)

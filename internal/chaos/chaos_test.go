@@ -10,18 +10,19 @@ import (
 // recovery subsystem and fails loudly.
 func TestScriptedFaults(t *testing.T) {
 	want := map[string]Outcome{
-		"index-corrupt":     CleanEpoch,
-		"mid-batch-kill":    CleanEpoch,
-		"doorbell-flood":    Absorbed,
-		"host-stall":        CleanEpoch,
-		"epoch-replay":      CleanEpoch,
-		"reattach-storm":    FailDead,
-		"mq-cross-kill":     CleanEpoch,
-		"mq-reattach-storm": FailDead,
-		"blk-index-corrupt": CleanEpoch,
-		"blk-host-stall":    CleanEpoch,
-		"blk-slow-host":     CleanEpoch,
-		"blk-epoch-replay":  CleanEpoch,
+		"index-corrupt":         CleanEpoch,
+		"mid-batch-kill":        CleanEpoch,
+		"doorbell-flood":        Absorbed,
+		"host-stall":            CleanEpoch,
+		"notify-suppress-stall": CleanEpoch,
+		"epoch-replay":          CleanEpoch,
+		"reattach-storm":        FailDead,
+		"mq-cross-kill":         CleanEpoch,
+		"mq-reattach-storm":     FailDead,
+		"blk-index-corrupt":     CleanEpoch,
+		"blk-host-stall":        CleanEpoch,
+		"blk-slow-host":         CleanEpoch,
+		"blk-epoch-replay":      CleanEpoch,
 	}
 	for _, sc := range Scenarios() {
 		sc := sc

@@ -25,6 +25,7 @@ func Scenarios() []Scenario {
 		{"mid-batch-kill", runMidBatchKill},
 		{"doorbell-flood", runDoorbellFlood},
 		{"host-stall", runHostStall},
+		{"notify-suppress-stall", runNotifySuppressStall},
 		{"epoch-replay", runEpochReplay},
 		{"reattach-storm", runReattachStorm},
 		{"mq-cross-kill", runMQCrossKill},
@@ -158,6 +159,51 @@ func runHostStall() Result {
 	}
 	return d.counters(Result{Fault: fault, Outcome: CleanEpoch,
 		Detail: "frozen consumer index declared fatal; blocked work bounded"})
+}
+
+// runNotifySuppressStall: with event-idx suppression the host can elide
+// every doorbell — so a host that suppresses and then freezes forever
+// produces a guest that never rings and a host that never reaps. The
+// watchdog must bound that silence exactly like an ordinary stall: the
+// suppressed state shifts wake timing, never liveness accounting.
+func runNotifySuppressStall() Result {
+	const fault = "notify-suppress-stall"
+	d := NewEventIdxDevice()
+	// Host withdraws the TX wake threshold (one suppress covers all
+	// later publishes), then stops serving entirely.
+	d.HP.SuppressTXNotify()
+	wd := safering.NewWatchdog(safering.WatchdogConfig{
+		Interval:   time.Hour, // Poll-driven; the ticker never fires
+		StallAfter: 5 * time.Second,
+		Clock:      d.Clock.Now,
+	}, d.EP)
+	if err := d.EP.Send(pattern(256, 3)); err != nil {
+		return corrupt(fault, "send setup: "+err.Error())
+	}
+	// Suppression must have elided the bell: the obligation exists with
+	// zero notifications on the wire.
+	if c := d.Meter.Snapshot(); c.Notifications != 0 || c.NotifsSuppressed == 0 {
+		return corrupt(fault, fmt.Sprintf(
+			"suppressed publish rang %d bells (suppressed=%d), want 0 rings",
+			c.Notifications, c.NotifsSuppressed))
+	}
+	wd.Poll() // obligation observed, clock starts
+	d.Clock.Advance(6 * time.Second)
+	wd.Poll() // still unserved past the deadline: stall declared
+	if derr := d.EP.Dead(); !errors.Is(derr, safering.ErrStalled) {
+		return corrupt(fault, fmt.Sprintf("stall not declared under suppression: %v", derr))
+	}
+	if wd.Stalls() != 1 {
+		return corrupt(fault, fmt.Sprintf("watchdog counted %d stalls, want 1", wd.Stalls()))
+	}
+	if err := d.Reincarnate(); err != nil {
+		return corrupt(fault, "reincarnation refused: "+err.Error())
+	}
+	if err := d.Verify(4); err != nil {
+		return corrupt(fault, "new epoch traffic: "+err.Error())
+	}
+	return d.counters(Result{Fault: fault, Outcome: CleanEpoch,
+		Detail: "forever-suppression bounded by the watchdog; clean epoch after rebirth"})
 }
 
 // runEpochReplay: the host records a delivered descriptor, survives the

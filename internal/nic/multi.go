@@ -224,10 +224,14 @@ func (m *HostMux) PushBatch(frames [][]byte) (int, error) {
 }
 
 // MultiPump shuttles frames between an N-queue device backend and a
-// simnet port: one transmit goroutine per queue (each drains only its
-// own ring, so queues progress independently) plus one receive
-// dispatcher that steers inbound frames to queues by FlowHash, exactly
-// as an RSS-capable NIC would spread flows across device threads.
+// simnet port, fully sharded: one transmit worker per queue (each
+// drains only its own ring, so queues progress independently), one
+// receive steering worker that owns the wire and classifies inbound
+// frames by FlowHash, and one receive delivery worker per queue fed
+// through a bounded channel — so a queue whose guest is slow to post
+// receive buffers backpressures (and eventually drops) alone instead of
+// head-of-line blocking every other queue's delivery, exactly as an
+// RSS-capable NIC spreads flows across device threads.
 type MultiPump struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -238,35 +242,55 @@ type MultiPump struct {
 	perRx    []atomic.Uint64
 
 	// Dead-queue tracking: a queue whose backend returns a terminal
-	// error is marked dead; when every queue is dead the RX dispatcher
-	// collects itself too, so a fail-deaded device leaves zero pump
-	// goroutines behind without anyone calling Stop.
+	// error is marked dead; when every queue is dead the RX steering
+	// worker collects itself too (closing the per-queue channels, which
+	// collects the delivery workers), so a fail-deaded device leaves
+	// zero pump goroutines behind without anyone calling Stop.
 	deadQ   []atomic.Bool
 	nDead   atomic.Int32
 	running atomic.Int32
 }
 
-// StartMultiPump begins pumping every queue of hosts against port. The
-// per-queue backends must belong to one device (so fate is shared via
-// the transport's latch); hosts must be non-empty.
+// rxQueueDepth bounds each queue's steering-to-delivery channel. Two
+// bursts of slack absorb scheduling jitter; beyond that the queue is
+// genuinely behind and frames drop (the device's prerogative — DoS is
+// out of the threat model).
+const rxQueueDepth = 2 * pumpBurst
+
+// StartMultiPump begins pumping every queue of hosts against port with
+// the default idle ladder. The per-queue backends must belong to one
+// device (so fate is shared via the transport's latch); hosts must be
+// non-empty.
 func StartMultiPump(hosts []BatchHost, port *simnet.Port) *MultiPump {
+	return StartMultiPumpCfg(hosts, port, DefaultPumpConfig)
+}
+
+// StartMultiPumpCfg is StartMultiPump with an explicit idle-ladder
+// configuration.
+func StartMultiPumpCfg(hosts []BatchHost, port *simnet.Port, cfg PumpConfig) *MultiPump {
 	if len(hosts) == 0 {
 		panic("nic: StartMultiPump needs at least one queue")
 	}
+	cfg = cfg.withDefaults()
 	p := &MultiPump{
 		stop:  make(chan struct{}),
 		perTx: make([]atomic.Uint64, len(hosts)),
 		perRx: make([]atomic.Uint64, len(hosts)),
 		deadQ: make([]atomic.Bool, len(hosts)),
 	}
+	chans := make([]chan []byte, len(hosts))
+	for i := range chans {
+		chans[i] = make(chan []byte, rxQueueDepth)
+	}
 	for i, h := range hosts {
-		p.wg.Add(1)
-		p.running.Add(1)
-		go p.runTX(i, h, port)
+		p.wg.Add(2)
+		p.running.Add(2)
+		go p.runTX(i, h, port, cfg)
+		go p.runRXWorker(i, h, chans[i])
 	}
 	p.wg.Add(1)
 	p.running.Add(1)
-	go p.runRX(hosts, port)
+	go p.runRX(hosts, port, cfg, chans)
 	return p
 }
 
@@ -283,16 +307,19 @@ func (p *MultiPump) markDead(q int) {
 	}
 }
 
-// runTX drains one queue's transmit ring onto the wire.
-func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
+// runTX drains one queue's transmit ring onto the wire, with the
+// spin-arm-sleep idle ladder on notify-capable backends.
+func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port, cfg PumpConfig) {
 	defer p.wg.Done()
 	defer p.running.Add(-1)
+	nh, _ := h.(NotifyHost)
 	bufs := make([][]byte, pumpBurst)
 	for i := range bufs {
 		bufs[i] = make([]byte, h.FrameCap())
 	}
 	lens := make([]int, pumpBurst)
 	idle := 0
+	armed := false
 	for {
 		select {
 		case <-p.stop:
@@ -306,10 +333,40 @@ func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
 		}
 		if n == 0 {
 			idle++
-			if idle > 64 {
-				time.Sleep(20 * time.Microsecond)
+			if idle <= cfg.SpinIdle {
+				continue
 			}
+			if nh != nil && !armed {
+				if nh.ArmNotify() {
+					continue // work raced in while arming: poll again
+				}
+				armed = true
+			}
+			d := cfg.backoff(idle - cfg.SpinIdle - 1)
+			var bell <-chan struct{}
+			if nh != nil {
+				bell = nh.NotifyChan()
+			}
+			if bell == nil {
+				time.Sleep(d)
+				continue
+			}
+			// Bounded even with a bell armed: the guest decides when
+			// bells ring, never whether this goroutine can be collected.
+			t := time.NewTimer(d)
+			select {
+			case <-p.stop:
+				t.Stop()
+				return
+			case <-bell:
+			case <-t.C:
+			}
+			t.Stop()
 			continue
+		}
+		if armed {
+			nh.SuppressNotify()
+			armed = false
 		}
 		idle = 0
 		sent := uint64(0)
@@ -323,16 +380,20 @@ func (p *MultiPump) runTX(q int, h BatchHost, port *simnet.Port) {
 	}
 }
 
-// runRX receives from the wire and dispatches each frame to its flow's
-// queue. One dispatcher goroutine owns the per-queue scratch, so the
-// steering stage itself is allocation- and lock-free in steady state.
-func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
+// runRX is the steering worker: the sole owner of the wire's receive
+// side. It classifies each inbound frame by FlowHash and hands it to
+// the owning queue's delivery worker over a bounded channel with a
+// non-blocking send — a backlogged or dead queue drops its own frames
+// and never stalls steering (or, transitively, any other queue). On
+// exit it closes every channel, which collects the delivery workers.
+func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port, cfg PumpConfig, chans []chan []byte) {
 	defer p.wg.Done()
 	defer p.running.Add(-1)
-	byQueue := make([][][]byte, len(hosts))
-	for i := range byQueue {
-		byQueue[i] = make([][]byte, 0, pumpBurst)
-	}
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
 	idle := 0
 	for {
 		select {
@@ -344,33 +405,71 @@ func (p *MultiPump) runRX(hosts []BatchHost, port *simnet.Port) {
 			return // whole device dead: every TX goroutine saw ErrClosed
 		}
 		got := 0
-		for q := range byQueue {
-			byQueue[q] = byQueue[q][:0]
-		}
 		for got < pumpBurst {
 			f, ok := port.Recv()
 			if !ok {
 				break
 			}
-			q := QueueFor(f, len(hosts))
-			byQueue[q] = append(byQueue[q], f)
 			got++
+			q := QueueFor(f, len(hosts))
+			if p.deadQ[q].Load() {
+				continue // frames for a dead queue are drops
+			}
+			select {
+			case chans[q] <- f:
+			default: // queue backlogged: drop, don't head-of-line block
+			}
 		}
 		if got == 0 {
 			idle++
-			if idle > 64 {
-				time.Sleep(20 * time.Microsecond)
+			if idle > cfg.SpinIdle {
+				// The wire has no wake channel: a bounded sleep is the
+				// only idle option on the steering side.
+				time.Sleep(cfg.backoff(idle - cfg.SpinIdle - 1))
 			}
 			continue
 		}
 		idle = 0
-		for q, frames := range byQueue {
-			if len(frames) == 0 || p.deadQ[q].Load() {
-				continue // frames for a dead queue are drops
+	}
+}
+
+// runRXWorker delivers one queue's share of inbound traffic: it blocks
+// on the queue's channel, accumulates whatever burst has built up, and
+// pushes it to the backend. Exits when the channel closes (steering
+// stopped), the pump stops, or its queue dies.
+func (p *MultiPump) runRXWorker(q int, h BatchHost, ch chan []byte) {
+	defer p.wg.Done()
+	defer p.running.Add(-1)
+	burst := make([][]byte, 0, pumpBurst)
+	for {
+		var f []byte
+		var ok bool
+		select {
+		case <-p.stop:
+			return
+		case f, ok = <-ch:
+			if !ok {
+				return
 			}
-			n := p.deliverQueue(q, hosts[q], frames)
-			p.rxFrames.Add(uint64(n))
-			p.perRx[q].Add(uint64(n))
+		}
+		burst = append(burst[:0], f)
+	drain:
+		for len(burst) < pumpBurst {
+			select {
+			case f2, ok2 := <-ch:
+				if !ok2 {
+					break drain
+				}
+				burst = append(burst, f2)
+			default:
+				break drain
+			}
+		}
+		n := p.deliverQueue(q, h, burst)
+		p.rxFrames.Add(uint64(n))
+		p.perRx[q].Add(uint64(n))
+		if p.deadQ[q].Load() {
+			return // queue died mid-delivery: steering stops feeding it
 		}
 	}
 }

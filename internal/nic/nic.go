@@ -90,6 +90,89 @@ type BatchHost interface {
 	PushBatch(frames [][]byte) (int, error)
 }
 
+// NotifyHost is a Host whose transport supports event-idx notification
+// suppression: the backend can publish a wake threshold ("ring me only
+// when new transmit work crosses my consumer position") instead of
+// taking a doorbell per batch. The pump uses it to trade boundary
+// crossings for a short arming handshake at the idle edge.
+//
+// The channel and the threshold are hints, never trusted state: a guest
+// that lies about (or ignores) the event index can delay the wakeup,
+// which is why every wait on NotifyChan must be time-bounded. It can
+// never corrupt the ring — consuming work still goes through the
+// validated Pop path.
+type NotifyHost interface {
+	// ArmNotify publishes the wake threshold at the current consumer
+	// position and reports whether work is already waiting (the
+	// lost-wakeup recheck): true means poll again instead of blocking.
+	ArmNotify() bool
+	// SuppressNotify withdraws the threshold while the pump actively
+	// polls, eliding peer doorbells under sustained load.
+	SuppressNotify()
+	// NotifyChan returns the doorbell trigger to wait on, or nil when
+	// the transport runs without doorbells. Re-fetched before every
+	// wait: reincarnation replaces the bell.
+	NotifyChan() <-chan struct{}
+}
+
+// PumpConfig tunes the pump's idle ladder: spin for SpinIdle empty
+// polls, then (on notify-capable transports) arm the wake threshold and
+// sleep in bounded exponential steps from SleepMin to SleepMax. Zero
+// fields take the DefaultPumpConfig values.
+//
+// SleepMax bounds every wait even when a doorbell channel is armed —
+// the simulated wire has no wake channel, and a peer controls when (not
+// whether correctly) bells ring — so inbound traffic is polled at least
+// every SleepMax and a stopped pump always collects.
+type PumpConfig struct {
+	// SpinIdle is how many consecutive empty polls to burn before the
+	// pump starts sleeping (the busy-poll budget).
+	SpinIdle int
+	// SleepMin is the first idle sleep; each further consecutive idle
+	// wait doubles it.
+	SleepMin time.Duration
+	// SleepMax caps the backoff and bounds every bell wait.
+	SleepMax time.Duration
+}
+
+// DefaultPumpConfig preserves the pre-ladder behaviour at the low end
+// (64 spins, 20µs first sleep) while letting a persistently idle pump
+// back off an order of magnitude further.
+var DefaultPumpConfig = PumpConfig{
+	SpinIdle: 64,
+	SleepMin: 20 * time.Microsecond,
+	SleepMax: 200 * time.Microsecond,
+}
+
+func (c PumpConfig) withDefaults() PumpConfig {
+	if c.SpinIdle == 0 {
+		c.SpinIdle = DefaultPumpConfig.SpinIdle
+	}
+	if c.SleepMin == 0 {
+		c.SleepMin = DefaultPumpConfig.SleepMin
+	}
+	if c.SleepMax == 0 {
+		c.SleepMax = DefaultPumpConfig.SleepMax
+	}
+	if c.SleepMax < c.SleepMin {
+		c.SleepMax = c.SleepMin
+	}
+	return c
+}
+
+// backoff returns the nth consecutive idle sleep (n counted from 0),
+// doubling from SleepMin and saturating at SleepMax.
+func (c PumpConfig) backoff(n int) time.Duration {
+	d := c.SleepMin
+	for i := 0; i < n && i < 16 && d < c.SleepMax; i++ {
+		d *= 2
+	}
+	if d > c.SleepMax {
+		d = c.SleepMax
+	}
+	return d
+}
+
 // BufFrame is a trivial Frame over a private byte slice.
 type BufFrame struct {
 	B        []byte
@@ -126,12 +209,18 @@ type Pump struct {
 	running  atomic.Int32
 }
 
-// StartPump begins shuttling between h and port until Stop.
+// StartPump begins shuttling between h and port until Stop, with the
+// default idle ladder.
 func StartPump(h Host, port *simnet.Port) *Pump {
+	return StartPumpCfg(h, port, DefaultPumpConfig)
+}
+
+// StartPumpCfg is StartPump with an explicit idle-ladder configuration.
+func StartPumpCfg(h Host, port *simnet.Port, cfg PumpConfig) *Pump {
 	p := &Pump{stop: make(chan struct{})}
 	p.wg.Add(1)
 	p.running.Add(1)
-	go p.run(h, port)
+	go p.run(h, port, cfg.withDefaults())
 	return p
 }
 
@@ -143,10 +232,11 @@ func (p *Pump) Running() int { return int(p.running.Load()) }
 // pumpBurst bounds the frames moved per direction per loop iteration.
 const pumpBurst = 64
 
-func (p *Pump) run(h Host, port *simnet.Port) {
+func (p *Pump) run(h Host, port *simnet.Port, cfg PumpConfig) {
 	defer p.wg.Done()
 	defer p.running.Add(-1)
 	bh, _ := h.(BatchHost)
+	nh, _ := h.(NotifyHost)
 	var bufs [][]byte
 	var lens []int
 	if bh != nil {
@@ -159,6 +249,7 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 	buf := make([]byte, h.FrameCap())
 	inbound := make([][]byte, 0, pumpBurst)
 	idle := 0
+	armed := false
 	for {
 		select {
 		case <-p.stop:
@@ -212,13 +303,48 @@ func (p *Pump) run(h Host, port *simnet.Port) {
 		}
 
 		if worked {
+			if armed {
+				nh.SuppressNotify()
+				armed = false
+			}
 			idle = 0
 			continue
 		}
+
+		// Idle ladder: spin the busy-poll budget, then arm the wake
+		// threshold (with the lost-wakeup recheck) and sleep in bounded
+		// exponential steps. The bell wait is always time-bounded: the
+		// wire side has no wake channel, and the guest controls when
+		// bells ring — SleepMax is the worst-case added latency either
+		// can impose.
 		idle++
-		if idle > 64 {
-			time.Sleep(20 * time.Microsecond)
+		if idle <= cfg.SpinIdle {
+			continue
 		}
+		if nh != nil && !armed {
+			if nh.ArmNotify() {
+				continue // work raced in while arming: poll again
+			}
+			armed = true
+		}
+		d := cfg.backoff(idle - cfg.SpinIdle - 1)
+		var bell <-chan struct{}
+		if nh != nil {
+			bell = nh.NotifyChan()
+		}
+		if bell == nil {
+			time.Sleep(d)
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-bell:
+		case <-t.C:
+		}
+		t.Stop()
 	}
 }
 

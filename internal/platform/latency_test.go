@@ -1,0 +1,107 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatIndexValueRoundTrip pins the log-linear bucket geometry: every
+// index maps into range, latValue returns the bucket's lower bound, and
+// the relative quantization error is bounded by one sub-bucket step
+// (2^-latSubBits = 6.25%).
+func TestLatIndexValueRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 15, 16, 17, 100, 999, 1 << 20, 1<<40 + 12345, 1 << 62, ^uint64(0)}
+	for v := uint64(1); v != 0 && v < 1<<63; v *= 3 {
+		vals = append(vals, v, v+1, v-1)
+	}
+	for _, v := range vals {
+		idx := latIndex(v)
+		if idx < 0 || idx >= latBuckets {
+			t.Fatalf("latIndex(%d) = %d out of [0,%d)", v, idx, latBuckets)
+		}
+		lo := latValue(idx)
+		if lo > v {
+			t.Fatalf("latValue(latIndex(%d)) = %d > input", v, lo)
+		}
+		if v >= latSub && float64(v-lo) > float64(v)/float64(latSub) {
+			t.Fatalf("latIndex(%d): bucket floor %d loses more than 1/%d relative precision", v, lo, latSub)
+		}
+	}
+	// Monotone: bucket floors never decrease with the index.
+	prev := uint64(0)
+	for i := 0; i < latBuckets; i++ {
+		if v := latValue(i); v < prev {
+			t.Fatalf("latValue(%d) = %d < latValue(%d) = %d", i, v, i-1, prev)
+		} else {
+			prev = v
+		}
+	}
+	// The top representable value must index the last bucket, not panic.
+	if idx := latIndex(^uint64(0)); idx != latBuckets-1 {
+		t.Fatalf("latIndex(max) = %d, want %d", idx, latBuckets-1)
+	}
+}
+
+// TestLatencyPercentiles records a known uniform distribution and checks
+// the nearest-rank summary within the histogram's quantization error.
+func TestLatencyPercentiles(t *testing.T) {
+	var m Meter
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		m.RecordLatency(time.Duration(i) * time.Microsecond)
+	}
+	s := m.LatencyPercentiles()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d", s.Count, n)
+	}
+	within := func(name string, got time.Duration, want time.Duration) {
+		t.Helper()
+		// Bucket floors under-report by at most 1/latSub of the value.
+		lo := want - want/latSub
+		if got < lo || got > want {
+			t.Fatalf("%s = %v, want within [%v, %v]", name, got, lo, want)
+		}
+	}
+	within("p50", s.P50, 500*time.Microsecond)
+	within("p99", s.P99, 990*time.Microsecond)
+	within("p999", s.P999, 999*time.Microsecond)
+
+	// Negative durations clamp to the zero bucket instead of corrupting
+	// the histogram; nil meters are no-ops everywhere.
+	m.RecordLatency(-time.Second)
+	if got := m.LatencyPercentiles().Count; got != n+1 {
+		t.Fatalf("Count after negative record = %d, want %d", got, n+1)
+	}
+	var nilM *Meter
+	nilM.RecordLatency(time.Second)
+	if s := nilM.LatencyPercentiles(); s.Count != 0 {
+		t.Fatalf("nil meter recorded %d samples", s.Count)
+	}
+}
+
+// TestLatencyMerge: a MeterBank summary merges per-queue histograms
+// bucket-wise — the device-level percentile sees every queue's samples.
+func TestLatencyMerge(t *testing.T) {
+	b := NewMeterBank(2)
+	for i := 1; i <= 500; i++ {
+		b.Queue(0).RecordLatency(time.Duration(i) * time.Microsecond)
+		b.Queue(1).RecordLatency(time.Duration(i+500) * time.Microsecond)
+	}
+	s := b.LatencyPercentiles()
+	if s.Count != 1000 {
+		t.Fatalf("merged Count = %d, want 1000", s.Count)
+	}
+	want := 500 * time.Microsecond
+	if s.P50 < want-want/latSub || s.P50 > want {
+		t.Fatalf("merged p50 = %v, want ~%v", s.P50, want)
+	}
+	// Queue-local tails stay visible: queue 1's p50 sits around 750µs.
+	q1 := b.Queue(1).LatencyPercentiles()
+	if q1.P50 <= s.P50 {
+		t.Fatalf("queue-1 p50 %v not above merged p50 %v", q1.P50, s.P50)
+	}
+	var nilB *MeterBank
+	if s := nilB.LatencyPercentiles(); s.Count != 0 {
+		t.Fatalf("nil bank recorded %d samples", s.Count)
+	}
+}

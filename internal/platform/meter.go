@@ -2,7 +2,9 @@ package platform
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // Meter accumulates boundary events on a confidential I/O path. All
@@ -14,6 +16,7 @@ type Meter struct {
 	bytesCopied   atomic.Uint64
 	checks        atomic.Uint64
 	notifications atomic.Uint64
+	suppressed    atomic.Uint64
 	publications  atomic.Uint64
 	cryptoBytes   atomic.Uint64
 	pagesShared   atomic.Uint64
@@ -21,6 +24,12 @@ type Meter struct {
 	deaths        atomic.Uint64
 	reincarnation atomic.Uint64
 	stalls        atomic.Uint64
+
+	// lat is the HDR-style log-linear latency histogram behind
+	// RecordLatency/LatencyPercentiles (see latIndex for the bucket
+	// scheme). Fixed-size atomics: recording is lock-free and the whole
+	// histogram merges across a MeterBank by bucket-wise addition.
+	lat latHist
 }
 
 // CrossTEE records n world switches between the TEE and the host
@@ -57,6 +66,16 @@ func (m *Meter) Check(n int) {
 func (m *Meter) Notify(n int) {
 	if m != nil {
 		m.notifications.Add(uint64(n))
+	}
+}
+
+// NotifySuppressed records n doorbell rings the event-idx predicate
+// elided: work the peer will discover by polling, with no boundary
+// crossing spent. The pair (Notifications, NotifsSuppressed) is the
+// suppression story a benchmark reports.
+func (m *Meter) NotifySuppressed(n int) {
+	if m != nil {
+		m.suppressed.Add(uint64(n))
 	}
 }
 
@@ -118,77 +137,87 @@ func (m *Meter) Stall(n int) {
 
 // Costs is an immutable snapshot of a Meter.
 type Costs struct {
-	TEECrossings   uint64
-	GateCrossings  uint64
-	BytesCopied    uint64
-	Checks         uint64
-	Notifications  uint64
-	IndexPublishes uint64
-	CryptoBytes    uint64
-	PagesShared    uint64
-	PagesRevoked   uint64
-	Deaths         uint64
-	Reincarnations uint64
-	StallsDetected uint64
+	TEECrossings     uint64
+	GateCrossings    uint64
+	BytesCopied      uint64
+	Checks           uint64
+	Notifications    uint64
+	NotifsSuppressed uint64
+	IndexPublishes   uint64
+	CryptoBytes      uint64
+	PagesShared      uint64
+	PagesRevoked     uint64
+	Deaths           uint64
+	Reincarnations   uint64
+	StallsDetected   uint64
 }
 
 // Snapshot captures the meter's current counters.
 func (m *Meter) Snapshot() Costs {
 	return Costs{
-		TEECrossings:   m.teeCrossings.Load(),
-		GateCrossings:  m.gateCrossings.Load(),
-		BytesCopied:    m.bytesCopied.Load(),
-		Checks:         m.checks.Load(),
-		Notifications:  m.notifications.Load(),
-		IndexPublishes: m.publications.Load(),
-		CryptoBytes:    m.cryptoBytes.Load(),
-		PagesShared:    m.pagesShared.Load(),
-		PagesRevoked:   m.pagesRevoked.Load(),
-		Deaths:         m.deaths.Load(),
-		Reincarnations: m.reincarnation.Load(),
-		StallsDetected: m.stalls.Load(),
+		TEECrossings:     m.teeCrossings.Load(),
+		GateCrossings:    m.gateCrossings.Load(),
+		BytesCopied:      m.bytesCopied.Load(),
+		Checks:           m.checks.Load(),
+		Notifications:    m.notifications.Load(),
+		NotifsSuppressed: m.suppressed.Load(),
+		IndexPublishes:   m.publications.Load(),
+		CryptoBytes:      m.cryptoBytes.Load(),
+		PagesShared:      m.pagesShared.Load(),
+		PagesRevoked:     m.pagesRevoked.Load(),
+		Deaths:           m.deaths.Load(),
+		Reincarnations:   m.reincarnation.Load(),
+		StallsDetected:   m.stalls.Load(),
 	}
 }
 
 // Sub returns c - earlier, the events between two snapshots.
 func (c Costs) Sub(earlier Costs) Costs {
 	return Costs{
-		TEECrossings:   c.TEECrossings - earlier.TEECrossings,
-		GateCrossings:  c.GateCrossings - earlier.GateCrossings,
-		BytesCopied:    c.BytesCopied - earlier.BytesCopied,
-		Checks:         c.Checks - earlier.Checks,
-		Notifications:  c.Notifications - earlier.Notifications,
-		IndexPublishes: c.IndexPublishes - earlier.IndexPublishes,
-		CryptoBytes:    c.CryptoBytes - earlier.CryptoBytes,
-		PagesShared:    c.PagesShared - earlier.PagesShared,
-		PagesRevoked:   c.PagesRevoked - earlier.PagesRevoked,
-		Deaths:         c.Deaths - earlier.Deaths,
-		Reincarnations: c.Reincarnations - earlier.Reincarnations,
-		StallsDetected: c.StallsDetected - earlier.StallsDetected,
+		TEECrossings:     c.TEECrossings - earlier.TEECrossings,
+		GateCrossings:    c.GateCrossings - earlier.GateCrossings,
+		BytesCopied:      c.BytesCopied - earlier.BytesCopied,
+		Checks:           c.Checks - earlier.Checks,
+		Notifications:    c.Notifications - earlier.Notifications,
+		NotifsSuppressed: c.NotifsSuppressed - earlier.NotifsSuppressed,
+		IndexPublishes:   c.IndexPublishes - earlier.IndexPublishes,
+		CryptoBytes:      c.CryptoBytes - earlier.CryptoBytes,
+		PagesShared:      c.PagesShared - earlier.PagesShared,
+		PagesRevoked:     c.PagesRevoked - earlier.PagesRevoked,
+		Deaths:           c.Deaths - earlier.Deaths,
+		Reincarnations:   c.Reincarnations - earlier.Reincarnations,
+		StallsDetected:   c.StallsDetected - earlier.StallsDetected,
 	}
 }
 
 // Add returns c + other.
 func (c Costs) Add(other Costs) Costs {
 	return Costs{
-		TEECrossings:   c.TEECrossings + other.TEECrossings,
-		GateCrossings:  c.GateCrossings + other.GateCrossings,
-		BytesCopied:    c.BytesCopied + other.BytesCopied,
-		Checks:         c.Checks + other.Checks,
-		Notifications:  c.Notifications + other.Notifications,
-		IndexPublishes: c.IndexPublishes + other.IndexPublishes,
-		CryptoBytes:    c.CryptoBytes + other.CryptoBytes,
-		PagesShared:    c.PagesShared + other.PagesShared,
-		PagesRevoked:   c.PagesRevoked + other.PagesRevoked,
-		Deaths:         c.Deaths + other.Deaths,
-		Reincarnations: c.Reincarnations + other.Reincarnations,
-		StallsDetected: c.StallsDetected + other.StallsDetected,
+		TEECrossings:     c.TEECrossings + other.TEECrossings,
+		GateCrossings:    c.GateCrossings + other.GateCrossings,
+		BytesCopied:      c.BytesCopied + other.BytesCopied,
+		Checks:           c.Checks + other.Checks,
+		Notifications:    c.Notifications + other.Notifications,
+		NotifsSuppressed: c.NotifsSuppressed + other.NotifsSuppressed,
+		IndexPublishes:   c.IndexPublishes + other.IndexPublishes,
+		CryptoBytes:      c.CryptoBytes + other.CryptoBytes,
+		PagesShared:      c.PagesShared + other.PagesShared,
+		PagesRevoked:     c.PagesRevoked + other.PagesRevoked,
+		Deaths:           c.Deaths + other.Deaths,
+		Reincarnations:   c.Reincarnations + other.Reincarnations,
+		StallsDetected:   c.StallsDetected + other.StallsDetected,
 	}
 }
 
 func (c Costs) String() string {
 	s := fmt.Sprintf("tee=%d gate=%d copied=%dB checks=%d notif=%d pub=%d crypto=%dB shared=%dpg revoked=%dpg",
 		c.TEECrossings, c.GateCrossings, c.BytesCopied, c.Checks, c.Notifications, c.IndexPublishes, c.CryptoBytes, c.PagesShared, c.PagesRevoked)
+	// Suppressed notifications (like liveness events below) are zero
+	// unless the deployment enables event-idx; appending them only when
+	// present keeps the steady-state benchmark lines unchanged.
+	if c.NotifsSuppressed != 0 {
+		s += fmt.Sprintf(" suppressed=%d", c.NotifsSuppressed)
+	}
 	// Liveness events are zero in every healthy run; appending them only
 	// when present keeps the steady-state benchmark lines unchanged.
 	if c.Deaths != 0 || c.Reincarnations != 0 || c.StallsDetected != 0 {
@@ -225,6 +254,127 @@ func DefaultCostParams() CostParams {
 		SharePageNs: 900,  // page-table/RMP update
 		RevokeNs:    2500, // EPT/RMP update + TLB shootdown
 	}
+}
+
+// --- Latency histogram (HDR-style log-linear) ---
+
+// The histogram trades a fixed, small relative error for lock-free
+// constant-space recording: nanosecond values are bucketed by their
+// power-of-two magnitude (the "major") subdivided into latSub linear
+// sub-buckets, so every bucket is at most 1/latSub wide relative to its
+// value (~6.25% with latSub=16). That is the classic HDR layout, sized
+// here for uint64 nanoseconds: values below latSub map one-to-one, and
+// the largest major (2^63) still lands in range.
+
+const (
+	latSubBits = 4
+	latSub     = 1 << latSubBits // linear sub-buckets per power of two
+	// latBuckets covers majors latSubBits..63 at latSub buckets each,
+	// plus the latSub exact buckets for values < latSub.
+	latBuckets = (64-latSubBits)*latSub + latSub
+)
+
+// latHist is the bucket array; index with latIndex.
+type latHist struct {
+	count   atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+}
+
+// latIndex maps a nanosecond value to its bucket.
+func latIndex(v uint64) int {
+	if v < latSub {
+		return int(v)
+	}
+	major := bits.Len64(v) - 1 // >= latSubBits
+	sub := (v >> (uint(major) - latSubBits)) & (latSub - 1)
+	return (major-latSubBits+1)*latSub + int(sub)
+}
+
+// latValue returns the lower bound of bucket idx — the value
+// LatencyPercentiles reports for samples landing there (under-reporting
+// by at most one sub-bucket width, ~6.25%).
+func latValue(idx int) uint64 {
+	if idx < latSub {
+		return uint64(idx)
+	}
+	major := uint(idx/latSub) - 1 + latSubBits
+	sub := uint64(idx % latSub)
+	return 1<<major + sub<<(major-latSubBits)
+}
+
+// RecordLatency adds one operation latency to the histogram. Negative
+// durations (a clock hiccup) record as zero. Nil-safe, lock-free.
+func (m *Meter) RecordLatency(d time.Duration) {
+	if m == nil {
+		return
+	}
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	m.lat.buckets[latIndex(v)].Add(1)
+	m.lat.count.Add(1)
+}
+
+// LatencySummary is one percentile snapshot of a latency histogram.
+// Percentile values carry the histogram's bucket resolution (~6%
+// relative error); Count is exact.
+type LatencySummary struct {
+	Count          uint64
+	P50, P99, P999 time.Duration
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v", s.Count, s.P50, s.P99, s.P999)
+}
+
+// latSnapshot accumulates the histogram's buckets into dst and returns
+// the total sample count added (the merge primitive MeterBank uses).
+func (m *Meter) latSnapshot(dst *[latBuckets]uint64) uint64 {
+	if m == nil {
+		return 0
+	}
+	for i := range dst {
+		dst[i] += m.lat.buckets[i].Load()
+	}
+	return m.lat.count.Load()
+}
+
+// latPercentiles walks an accumulated bucket array once, lifting the
+// p50/p99/p999 bucket lower bounds.
+func latPercentiles(buckets *[latBuckets]uint64, count uint64) LatencySummary {
+	s := LatencySummary{Count: count}
+	if count == 0 {
+		return s
+	}
+	// Rank of the q-quantile in a population of count samples
+	// (nearest-rank definition, 1-based).
+	rank := func(q float64) uint64 {
+		r := uint64(q * float64(count))
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	targets := [3]uint64{rank(0.50), rank(0.99), rank(0.999)}
+	out := [3]*time.Duration{&s.P50, &s.P99, &s.P999}
+	seen := uint64(0)
+	next := 0
+	for i := 0; i < latBuckets && next < len(targets); i++ {
+		seen += buckets[i]
+		for next < len(targets) && seen >= targets[next] {
+			*out[next] = time.Duration(latValue(i))
+			next++
+		}
+	}
+	return s
+}
+
+// LatencyPercentiles summarizes every latency recorded so far.
+func (m *Meter) LatencyPercentiles() LatencySummary {
+	var buckets [latBuckets]uint64
+	count := m.latSnapshot(&buckets)
+	return latPercentiles(&buckets, count)
 }
 
 // ModelNanos converts an event snapshot into modelled time under p.

@@ -64,6 +64,22 @@ func (b *MeterBank) QueueSnapshots() []Costs {
 	return out
 }
 
+// LatencyPercentiles merges every queue's latency histogram bucket-wise
+// and summarizes the device-level distribution — the per-queue
+// histograms stay untouched, so queue-local tails remain visible via
+// Queue(i).LatencyPercentiles().
+func (b *MeterBank) LatencyPercentiles() LatencySummary {
+	if b == nil {
+		return LatencySummary{}
+	}
+	var buckets [latBuckets]uint64
+	count := uint64(0)
+	for _, m := range b.meters {
+		count += m.latSnapshot(&buckets)
+	}
+	return latPercentiles(&buckets, count)
+}
+
 func (b *MeterBank) String() string {
 	return fmt.Sprintf("meterbank(%d queues): %s", b.Len(), b.Snapshot())
 }

@@ -175,6 +175,25 @@ func (h *HostNIC) PushBatch(frames [][]byte) (int, error) {
 // FrameCap implements nic.Host.
 func (h *HostNIC) FrameCap() int { return h.HP.Shared().Cfg.FrameCap() }
 
+// ArmNotify implements nic.NotifyHost: publish the host's TX wake
+// threshold and report whether work already waits (poll again, don't
+// block).
+func (h *HostNIC) ArmNotify() bool { return h.HP.ArmTXNotify() }
+
+// SuppressNotify implements nic.NotifyHost.
+func (h *HostNIC) SuppressNotify() { h.HP.SuppressTXNotify() }
+
+// NotifyChan implements nic.NotifyHost. The shared state is re-fetched
+// on every call: reincarnation replaces the doorbell, and a pump that
+// cached the old (sealed) bell would sleep through the new incarnation's
+// rings until its bounded timeout.
+func (h *HostNIC) NotifyChan() <-chan struct{} {
+	if b := h.HP.Shared().TXBell; b != nil {
+		return b.Chan()
+	}
+	return nil
+}
+
 // NIC returns the multi-queue endpoint's nic.MultiGuest view: a mux over
 // per-queue GuestNIC adapters. Flow steering happens above this adapter
 // (in the mux or the network stack), always from guest-private bytes.

@@ -89,6 +89,17 @@ type DeviceConfig struct {
 	RX RXPolicy
 	// Notify enables doorbells; when false both sides poll.
 	Notify bool
+	// EventIdx enables virtio-style notification suppression on top of
+	// Notify: each consumer publishes an event index ("ring me when your
+	// producer index crosses X") and producers ring only when it is
+	// crossed. Like everything else here it is fixed at deployment on
+	// both sides — there is no feature negotiation to subvert. Requires
+	// Notify.
+	EventIdx bool
+	// BusyPoll is the guest's busy-poll budget under EventIdx: how many
+	// empty polls a receive loop spins through before arming the
+	// doorbell and blocking. Zero means arm immediately when idle.
+	BusyPoll int
 	// GuestChecksums fixes checksum responsibility at deployment: when
 	// true the guest stack computes/verifies checksums and the device
 	// offers no offload (there is nothing to negotiate).
@@ -143,6 +154,10 @@ func (c DeviceConfig) Validate() error {
 		return fmt.Errorf("%w: revoke rx policy requires shared-area mode", ErrConfig)
 	case c.Mode == Indirect && (!pow2(c.Segments) || c.Segments > 64):
 		return fmt.Errorf("%w: segments %d not a power of two <= 64", ErrConfig, c.Segments)
+	case c.EventIdx && !c.Notify:
+		return fmt.Errorf("%w: event-idx suppression requires doorbells (Notify)", ErrConfig)
+	case c.BusyPoll < 0:
+		return fmt.Errorf("%w: negative busy-poll budget %d", ErrConfig, c.BusyPoll)
 	case c.Mode != Inline && c.FrameCap() > platform.PageSize:
 		// Receive slabs are exactly one page; a larger frame capacity
 		// would let a descriptor's Len reach into the adjacent slab.

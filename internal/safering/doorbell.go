@@ -46,6 +46,20 @@ func (d *Doorbell) Ring() {
 	case d.ch <- struct{}{}:
 	default:
 	}
+	// Close the Seal race: a Ring that passed the sealed check above can
+	// deposit its trigger after Seal stored the flag, arming a bell that
+	// is supposed to be dead forever. Re-checking after the deposit —
+	// paired with Seal's own drain — guarantees that once Seal returns
+	// and every in-flight Ring has returned, the channel is empty: either
+	// this load sees the seal and retracts, or Seal's drain (which
+	// happens after the flag store) swallowed the trigger.
+	if d.sealed.Load() {
+		select {
+		case <-d.ch:
+		default:
+		}
+		d.stale.Add(1)
+	}
 }
 
 // Wait blocks until the doorbell has been rung since the last Wait.
@@ -77,12 +91,21 @@ func (d *Doorbell) TryWait() bool {
 func (d *Doorbell) Chan() <-chan struct{} { return d.ch }
 
 // Seal permanently disarms the doorbell (nil-safe; idempotent). Called
-// on the old incarnation's bells at rebirth.
+// on the old incarnation's bells at rebirth. After Seal returns (and
+// every concurrently running Ring has returned) the trigger channel is
+// guaranteed empty: a waiter on the sealed bell can never be woken by a
+// stale ring.
 func (d *Doorbell) Seal() {
 	if d == nil {
 		return
 	}
 	d.sealed.Store(true)
+	// Drain the trigger a racing Ring may have deposited between its
+	// sealed check and the store above (see Ring's mirror re-check).
+	select {
+	case <-d.ch:
+	default:
+	}
 }
 
 // StaleRings reports how many rings arrived after Seal — an audit

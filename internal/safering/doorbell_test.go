@@ -1,0 +1,61 @@
+package safering
+
+import (
+	"sync"
+	"testing"
+
+	"confio/internal/platform"
+)
+
+// TestDoorbellSealThenRing pins the deterministic half of the seal
+// contract: a ring after Seal returned is never delivered and is
+// counted as stale exactly once.
+func TestDoorbellSealThenRing(t *testing.T) {
+	var m platform.Meter
+	d := NewDoorbell(&m)
+	d.Seal()
+	d.Ring()
+	select {
+	case <-d.Chan():
+		t.Fatal("sealed doorbell delivered a ring")
+	default:
+	}
+	if got := d.StaleRings(); got != 1 {
+		t.Fatalf("StaleRings = %d, want 1", got)
+	}
+	if n := m.Snapshot().Notifications; n != 0 {
+		t.Fatalf("sealed ring was metered as %d notifications, want 0", n)
+	}
+}
+
+// TestDoorbellSealRingRace drives Ring and Seal concurrently (run under
+// -race; see `make race`): whatever the interleaving, once both calls
+// have returned the trigger channel must be empty — either Ring's
+// post-deposit re-check retracted the trigger, or Seal's drain swallowed
+// it. Before the re-check/drain pairing existed, a Ring that passed the
+// sealed check could deposit after Seal's flag store and leave a sealed
+// bell armed — a waiter on the dead incarnation's bell would wake.
+func TestDoorbellSealRingRace(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		d := NewDoorbell(nil)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); d.Ring() }()
+		go func() { defer wg.Done(); d.Seal() }()
+		wg.Wait()
+		select {
+		case <-d.Chan():
+			t.Fatalf("iteration %d: sealed doorbell still armed after Ring and Seal returned", i)
+		default:
+		}
+		d.Ring() // post-seal ring on the now-quiescent bell: counted, not delivered
+		select {
+		case <-d.Chan():
+			t.Fatalf("iteration %d: post-seal ring delivered", i)
+		default:
+		}
+		if d.StaleRings() == 0 {
+			t.Fatalf("iteration %d: post-seal ring not counted stale", i)
+		}
+	}
+}

@@ -93,6 +93,7 @@ func New(cfg DeviceConfig, meter *platform.Meter) (*Endpoint, error) {
 	e.txHandles = make([][]shmem.Handle, cfg.Slots)
 	e.tx = NewEngine[Desc](sh.TX, sh.TXBell, descCodec{}, meter,
 		EngineHooks[Desc]{OnReturn: e.txReturn, Fail: e.fail})
+	e.tx.SetEventIdx(cfg.EventIdx)
 	e.pool.New = func() any {
 		b := make([]byte, cfg.FrameCap())
 		return &b
@@ -645,3 +646,55 @@ func (e *Endpoint) RecvBatch(out []*RxFrame) (int, error) {
 // RXBell returns the doorbell the host rings when frames arrive, or nil
 // in polling mode. Guest receive loops may select on its channel.
 func (e *Endpoint) RXBell() *Doorbell { return e.sh.RXBell }
+
+// ArmRXNotify publishes the guest's receive wake threshold (event
+// index): under EventIdx the host rings RXBell only once its producer
+// index crosses the guest's consumer position. It then re-checks the
+// raw producer index and reports whether frames already wait — the
+// store-then-recheck that closes the lost-wakeup window (the mirror of
+// the engine's store-prod-then-load-evt, see Engine.Publish). A true
+// return means: do not block, poll again. The raw index is only a
+// boolean hint here — consuming it still goes through the validated
+// Recv path.
+func (e *Endpoint) ArmRXNotify() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sh.RXUsed.Indexes().StoreEvent(e.rxTail)
+	return e.sh.RXUsed.Indexes().LoadProd() != e.rxTail
+}
+
+// SuppressRXNotify withdraws the receive wake threshold (event index =
+// consumer position - 1, a value the host's next publication can never
+// cross) while the guest actively polls — the sustained-load half of
+// the event-idx protocol: no boundary crossings while the consumer is
+// keeping up anyway.
+func (e *Endpoint) SuppressRXNotify() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sh.RXUsed.Indexes().StoreEvent(e.rxTail - 1)
+}
+
+// RecvPoll is Recv with the configured busy-poll ladder: it polls up to
+// 1+BusyPoll times and, still empty, arms the RX doorbell (with the
+// lost-wakeup recheck) before returning ErrRingEmpty. The caller may
+// then block on RXBell().Chan() — with a bounded timeout, since a host
+// that lies about (or ignores) the event index controls when the bell
+// rings, never what state the ring is in.
+func (e *Endpoint) RecvPoll() (*RxFrame, error) {
+	spins := e.sh.Cfg.BusyPoll
+	for i := 0; ; i++ {
+		fr, err := e.Recv()
+		if err == nil || !errors.Is(err, ErrRingEmpty) {
+			return fr, err
+		}
+		if i >= spins {
+			break
+		}
+	}
+	if e.sh.Cfg.EventIdx && e.ArmRXNotify() {
+		// Work raced in while arming: deliver it rather than asking the
+		// caller to block on a bell that may never ring for it.
+		return e.Recv()
+	}
+	return nil, ErrRingEmpty
+}

@@ -59,6 +59,13 @@ type Engine[D any] struct {
 	meter *platform.Meter
 	hooks EngineHooks[D]
 
+	// eventIdx, when set, gates the doorbell on the peer's published
+	// event index (virtio event-idx): Publish rings only when the new
+	// producer position crosses the threshold the consumer asked to be
+	// woken at. Deployment-fixed, like every protocol parameter — both
+	// sides agree at construction, nothing is negotiated.
+	eventIdx bool
+
 	// Private state, never derived from shared memory.
 	head     uint64 // next slot to stage
 	pub      uint64 // head value last published to the peer
@@ -84,6 +91,12 @@ func NewEngine[D any](ring *Ring, bell *Doorbell, codec Codec[D], meter *platfor
 
 // Ring returns the ring the engine currently produces into.
 func (g *Engine[D]) Ring() *Ring { return g.ring }
+
+// SetEventIdx enables (or disables) event-idx notification suppression
+// for this engine's doorbell. Call at construction time, before traffic;
+// the setting survives Reset — it is part of the deployment contract,
+// not of one incarnation.
+func (g *Engine[D]) SetEventIdx(on bool) { g.eventIdx = on }
 
 // Head returns the private producer head (staged, not necessarily
 // published). The watchdog compares it against the shared consumer
@@ -156,16 +169,33 @@ func (g *Engine[D]) Stage(d D) {
 // Publish makes every staged-but-unpublished slot visible to the peer
 // with one index store and at most one doorbell ring. A no-op when
 // nothing new was staged.
+//
+// Under event-idx the ring is further gated on the peer's published
+// wake threshold. The store/load order matters: the producer index is
+// stored BEFORE the event index is loaded, and the consumer arms by
+// storing its event index BEFORE re-checking the producer index — with
+// sequentially consistent atomics one of the two sides must see the
+// other's store, so a wakeup is never lost in the arming window. The
+// event index itself is untrusted: it feeds NeedEvent's wrap-compare
+// and nothing else, so garbage there shifts wake timing (recovered by
+// the peer's bounded-sleep ladder and, ultimately, the watchdog) but
+// can never corrupt state.
 func (g *Engine[D]) Publish() {
 	if g.pub == g.head {
 		return
 	}
+	old := g.pub
 	g.ring.Indexes().StoreProd(g.head)
 	g.pub = g.head
 	g.meter.Publish(1)
-	if g.bell != nil {
-		g.bell.Ring()
+	if g.bell == nil {
+		return
 	}
+	if g.eventIdx && !NeedEvent(g.ring.Indexes().LoadEvent(), g.head, old) {
+		g.meter.NotifySuppressed(1)
+		return
+	}
+	g.bell.Ring()
 }
 
 // Reset rebinds the engine to a fresh ring (and doorbell) at

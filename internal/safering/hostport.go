@@ -30,6 +30,7 @@ type HostPort struct {
 
 	txTail     uint64 // consumer position on TX
 	rxHead     uint64 // producer position on RXUsed
+	rxPub      uint64 // rxHead value last published to the guest
 	rxConsSeen uint64
 	rxFreeTail uint64 // consumer position on RXFree
 }
@@ -306,10 +307,44 @@ func (h *HostPort) stagePushLocked(frame []byte) error {
 }
 
 func (h *HostPort) publishPushLocked() {
+	old := h.rxPub
 	h.sh.RXUsed.Indexes().StoreProd(h.rxHead)
-	if h.sh.RXBell != nil {
-		h.sh.RXBell.Ring()
+	h.rxPub = h.rxHead
+	if h.sh.RXBell == nil {
+		return
 	}
+	// Under event-idx the guest publishes its wake threshold in the
+	// RXUsed event word; ring only when this publication crosses it.
+	// Producer index stored above BEFORE the event index is loaded here
+	// (the guest arms by storing evt BEFORE re-checking prod), so a
+	// wakeup is never lost. The word is guest-controlled and feeds the
+	// wrap-compare only: lying shifts the honest host's ring timing,
+	// never its state.
+	if h.sh.Cfg.EventIdx && !NeedEvent(h.sh.RXUsed.Indexes().LoadEvent(), h.rxHead, old) {
+		return
+	}
+	h.sh.RXBell.Ring()
+}
+
+// ArmTXNotify publishes the host's transmit wake threshold (event
+// index): under EventIdx the guest rings TXBell only once its producer
+// index crosses the host's consumer position. It re-checks the raw
+// producer index after the store (the lost-wakeup recheck) and reports
+// whether frames already wait — true means poll again, don't block.
+func (h *HostPort) ArmTXNotify() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sh.TX.Indexes().StoreEvent(h.txTail)
+	return h.sh.TX.Indexes().LoadProd() != h.txTail
+}
+
+// SuppressTXNotify withdraws the transmit wake threshold while the host
+// pump actively polls, eliding guest doorbell rings under sustained
+// load (event index = consumer position - 1, never crossed).
+func (h *HostPort) SuppressTXNotify() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sh.TX.Indexes().StoreEvent(h.txTail - 1)
 }
 
 // popFreeSlab consumes the next guest-posted receive slab.

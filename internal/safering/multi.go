@@ -145,6 +145,15 @@ func (m *MultiEndpoint) SharedQueues() []*Shared {
 	return out
 }
 
+// SuppressRXNotify withdraws every queue's receive wake threshold — the
+// device-wide "I am actively polling" declaration a busy-poll guest
+// makes once under sustained load (see Endpoint.SuppressRXNotify).
+func (m *MultiEndpoint) SuppressRXNotify() {
+	for _, q := range m.queues {
+		q.SuppressRXNotify()
+	}
+}
+
 // Costs returns the aggregated device snapshot across all queue meters.
 func (m *MultiEndpoint) Costs() platform.Costs { return m.bank.Snapshot() }
 
@@ -182,3 +191,11 @@ func (m *MultiHostPort) Queue(i int) *HostPort { return m.queues[i] }
 
 // Dead returns the guest violation that poisoned the device model.
 func (m *MultiHostPort) Dead() error { return m.latch.Dead() }
+
+// SuppressTXNotify withdraws every queue's transmit wake threshold —
+// what a sharded host pump does on each queue it actively polls.
+func (m *MultiHostPort) SuppressTXNotify() {
+	for _, q := range m.queues {
+		q.SuppressTXNotify()
+	}
+}

@@ -70,6 +70,14 @@ type Indexes struct {
 	prod atomic.Uint64
 	//ciovet:shared the peer observes this to reclaim slots
 	cons atomic.Uint64
+	// evt is the consumer-published event index: "notify me when the
+	// producer index crosses this value" (virtio's event-idx). It is
+	// consumed by NeedEvent's wrap-compare ONLY — never as an offset, a
+	// count, or a bound — so a peer publishing garbage here can shift
+	// *when* a notification fires (one spurious ring, or none until the
+	// watchdog notices) but can never confuse ring state.
+	//ciovet:shared the peer publishes its wake threshold here
+	evt atomic.Uint64
 }
 
 // LoadProd returns the producer's published position.
@@ -83,6 +91,25 @@ func (ix *Indexes) LoadCons() uint64 { return ix.cons.Load() }
 
 // StoreCons publishes the consumer position.
 func (ix *Indexes) StoreCons(v uint64) { ix.cons.Store(v) }
+
+// LoadEvent returns the consumer's published event index.
+func (ix *Indexes) LoadEvent() uint64 { return ix.evt.Load() }
+
+// StoreEvent publishes the consumer's event index: the producer position
+// whose crossing should ring the doorbell. Storing tail arms the bell;
+// storing tail-1 (a value the producer can never cross next) suppresses
+// it while the consumer actively polls.
+func (ix *Indexes) StoreEvent(v uint64) { ix.evt.Store(v) }
+
+// NeedEvent reports whether a producer that just advanced its published
+// index from oldIdx to newIdx must notify a consumer whose event index
+// is evt — virtio's event-idx predicate, on wrapping uint64 arithmetic:
+// ring exactly when evt lies in [oldIdx, newIdx). The comparison is the
+// ONLY way the event index is ever consumed, which is what bounds a
+// lying peer to timing effects (see Indexes.evt).
+func NeedEvent(evt, newIdx, oldIdx uint64) bool {
+	return newIdx-evt-1 < newIdx-oldIdx
+}
 
 // Ring is one unidirectional SPSC descriptor ring: a power-of-two array
 // of fixed-size slots in shared memory plus a shared index pair. It has
