@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages exercised under the race detector: the ones with real
 # cross-goroutine shared state (rings, slab pools, the core datapath).
-RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos ./internal/blkring
+RACE_PKGS := ./internal/safering ./internal/shmem ./internal/core ./internal/nic ./internal/chaos ./internal/blkring ./internal/platform ./internal/gateway
 
-.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq bench-blk bench-notify chaos check
+.PHONY: all build test race vet ciovet vet-update-baseline fuzz fmt bench bench-mq bench-blk bench-notify bench-gw chaos check
 
 all: build
 
@@ -62,6 +62,13 @@ bench-blk:
 BENCHTIME ?= 1s
 bench-notify:
 	$(GO) test -run '^$$' -bench 'BenchmarkNotify_' -benchtime $(BENCHTIME) -benchmem -json . | tee BENCH_notify.json
+
+# Multi-tenant gateway fairness: measured tenants' round trips with and
+# without a flooding neighbor (MB/s, p99-us, p99-spread — see
+# EXPERIMENTS.md); the machine-readable stream lands in
+# BENCH_gateway.json. Override BENCHTIME for a CI smoke run.
+bench-gw:
+	$(GO) test -run '^$$' -bench 'BenchmarkGW_' -benchtime $(BENCHTIME) -benchmem -json . | tee BENCH_gateway.json
 
 # Chaos-host fault injection: scripted fault scenarios plus seeded-random
 # storms, each asserting the recovery invariant (clean new epoch or

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"confio/internal/gateway"
+)
+
+// runTenants prints the multi-tenant gateway fairness table: three
+// tenants behind one ctls-terminating gateway on a shared multi-queue
+// safe ring, tenant 1 flooding 4 KiB echoes as fast as it can while
+// tenants 2 and 3 run a fixed latency-sensitive workload. The per-tenant
+// meters answer the fairness question directly: the measured tenants
+// must finish uncharged (no drops, no evictions) with comparable tails,
+// because every tenant has its own compartment, its own key, and its own
+// budget — the flooder competes for ring bandwidth, nothing else.
+func runTenants() {
+	fmt.Println("== multi-tenant gateway: per-tenant fairness under flood ==")
+	n, err := gateway.NewNode(gateway.DefaultNodeConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciobench: gateway: %v\n", err)
+		os.Exit(1)
+	}
+	defer n.Close()
+
+	echo := func(c io.ReadWriteCloser, payload, resp []byte) error {
+		if _, err := c.Write(payload); err != nil {
+			return err
+		}
+		_, err := io.ReadFull(c, resp)
+		return err
+	}
+
+	// Tenant 1: the flooder. Streams until the measured tenants finish.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cf, err := n.DialTenant(1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciobench: flooder dial: %v\n", err)
+		os.Exit(1)
+	}
+	defer cf.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload := bytes.Repeat([]byte{0xF1}, 4096)
+		resp := make([]byte, len(payload))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := echo(cf, payload, resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Tenants 2 and 3: the measured workload, concurrent with the flood.
+	const rounds = 300
+	var mwg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, id := range []gateway.TenantID{2, 3} {
+		id := id
+		mwg.Add(1)
+		go func() {
+			defer mwg.Done()
+			c, err := n.DialTenant(id)
+			if err != nil {
+				errs <- fmt.Errorf("tenant %v dial: %w", id, err)
+				return
+			}
+			defer c.Close()
+			payload := bytes.Repeat([]byte{byte(id)}, 256)
+			resp := make([]byte, len(payload))
+			for i := 0; i < rounds; i++ {
+				if err := echo(c, payload, resp); err != nil {
+					errs <- fmt.Errorf("tenant %v echo %d: %w", id, i, err)
+					return
+				}
+			}
+		}()
+	}
+	mwg.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintf(os.Stderr, "ciobench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-8s %-10s %9s %7s %7s %9s %9s %9s\n",
+		"tenant", "role", "frames", "drops", "evict", "p50(us)", "p99(us)", "p999(us)")
+	role := map[uint64]string{1: "flooder", 2: "measured", 3: "measured"}
+	for _, id := range n.Tb.IDs() {
+		c := n.Tb.Tenant(id)
+		lat := n.Tb.TenantLatency(id)
+		fmt.Printf("%-8d %-10s %9d %7d %7d %9.2f %9.2f %9.2f\n",
+			id, role[id], c.Frames, c.Drops, c.Evictions,
+			float64(lat.P50)/1e3, float64(lat.P99)/1e3, float64(lat.P999)/1e3)
+	}
+	fmt.Println("\nreading: the measured tenants end uncharged — zero drops, zero evictions —")
+	fmt.Println("with comparable tails, while the flooder's frame count shows how hard the")
+	fmt.Println("neighbor pushed. Per-tenant compartments and budgets make flooding a")
+	fmt.Println("bandwidth competition, never a safety or liveness problem for neighbors.")
+}

@@ -13,6 +13,7 @@
 //	ciobench -batch          # batched-datapath amortization table
 //	ciobench -queues         # multi-queue scaling table (queues x batch)
 //	ciobench -lat            # batch-1 notification modes with tail latency
+//	ciobench -tenants        # multi-tenant gateway fairness under flood
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	queues := flag.Bool("queues", false, "sweep queue counts over the multi-queue ring datapath")
 	blk := flag.Bool("blk", false, "sweep batch x queues over the storage ring")
 	lat := flag.Bool("lat", false, "batch-1 notification-mode table with round-trip tail latency")
+	tenants := flag.Bool("tenants", false, "multi-tenant gateway fairness table (one tenant floods)")
 	flag.Parse()
 
 	if *storage {
@@ -64,6 +66,10 @@ func main() {
 	}
 	if *lat {
 		runLat()
+		return
+	}
+	if *tenants {
+		runTenants()
 		return
 	}
 

@@ -1,10 +1,11 @@
 // Middlebox builds a ShieldBox/LightBox-style confidential network
-// function: a TCP proxy running in a TEE between a client and a server,
-// scanning the stream for a blocked pattern — the workload class the
-// paper's L2 designs are motivated by. It runs the same function twice,
-// over the raw safe ring (network-equivalent observability) and over the
-// constant-size tunnel (traffic shape hidden), and prints what an
-// on-path observer saw in each case.
+// function: a content scanner running in a TEE, checking tenant traffic
+// for a blocked pattern — the workload class the paper's L2 designs are
+// motivated by. It runs as a handler on the multi-tenant gateway
+// (production shape: multi-queue safe ring, event-idx notification
+// suppression, per-tenant ctls keys and compartments), so every
+// department talks to the scanner over its own authenticated channel
+// and the on-path host sees nothing but ciphertext records.
 package main
 
 import (
@@ -12,141 +13,78 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"time"
+	"sync/atomic"
 
-	"confio/internal/ipv4"
-	"confio/internal/netstack"
-	"confio/internal/nic"
-	"confio/internal/platform"
-	"confio/internal/safering"
-	"confio/internal/simnet"
+	"confio/internal/gateway"
 )
 
 var blocked = []byte("EXFILTRATE")
 
-func node(net *simnet.Network, mac byte, ip ipv4.Addr) (*netstack.Stack, func()) {
-	cfg := safering.DefaultConfig()
-	cfg.MAC[5] = mac
-	ep, err := safering.New(cfg, &platform.Meter{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	pump := nic.StartPump(safering.NewHostPort(ep.Shared()).NIC(), net.NewPort())
-	st := netstack.New(ep.NIC(), ip)
-	st.Start()
-	return st, func() { st.Close(); pump.Stop() }
-}
-
 func main() {
-	net := simnet.New()
-	net.EnableCapture()
+	var scanned, droppedMsgs atomic.Int64
 
-	clientIP := ipv4.Addr{10, 1, 0, 1}
-	mboxIP := ipv4.Addr{10, 1, 0, 2}
-	serverIP := ipv4.Addr{10, 1, 0, 3}
-
-	client, c1 := node(net, 1, clientIP)
-	mbox, c2 := node(net, 2, mboxIP)
-	server, c3 := node(net, 3, serverIP)
-	defer c1()
-	defer c2()
-	defer c3()
-
-	// Backend server: counts received bytes.
-	sl, err := server.Listen(9090, 8)
+	// The network function, as a gateway handler: each tenant message
+	// arrives decrypted inside the scanner's TEE, already attributed to
+	// the tenant that sent it; the verdict goes back over the same
+	// per-tenant channel. No bespoke accept/relay loop — routing,
+	// per-tenant keys, compartments, metering, flood and stall
+	// containment all come from the gateway.
+	cfg := gateway.DefaultNodeConfig() // 4 queues, event-idx on
+	cfg.Gateway.Handler = func(id gateway.TenantID, msg []byte) ([]byte, error) {
+		scanned.Add(int64(len(msg)))
+		if bytes.Contains(msg, blocked) {
+			droppedMsgs.Add(1)
+			return []byte("BLOCKED: policy violation"), nil // policy: drop exfiltration attempts
+		}
+		return []byte(fmt.Sprintf("forwarded %d bytes", len(msg))), nil
+	}
+	n, err := gateway.NewNode(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	received := make(chan []byte, 8)
-	go func() {
-		for {
-			c, err := sl.Accept()
-			if err != nil {
-				return
-			}
-			go func() {
-				data, _ := io.ReadAll(readerOf(c))
-				received <- data
-				c.Close()
-			}()
-		}
-	}()
+	defer n.Close()
+	n.Net.EnableCapture()
 
-	// Middlebox: accepts on 8080, scans, forwards clean streams.
-	ml, err := mbox.Listen(8080, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var scanned, droppedFlows int
-	go func() {
-		for {
-			in, err := ml.Accept()
-			if err != nil {
-				return
-			}
-			go func() {
-				defer in.Close()
-				data, _ := io.ReadAll(readerOf(in))
-				scanned += len(data)
-				if bytes.Contains(data, blocked) {
-					droppedFlows++
-					return // policy: drop exfiltration attempts
-				}
-				out, err := mbox.Dial(serverIP, 9090, 5*time.Second)
-				if err != nil {
-					return
-				}
-				out.Write(data)
-				out.Close()
-			}()
-		}
-	}()
-
-	send := func(payload []byte) {
-		c, err := client.Dial(mboxIP, 8080, 5*time.Second)
+	send := func(id gateway.TenantID, payload []byte) {
+		c, err := n.DialTenant(id)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("tenant %v: %v", id, err)
 		}
-		c.Write(payload)
-		c.Close()
-	}
-
-	send([]byte("quarterly report: all numbers up"))
-	send(append([]byte("please "), append(blocked, []byte(" the customer database")...)...))
-	send([]byte("lunch menu attached"))
-
-	// Collect what reached the backend.
-	var delivered [][]byte
-	timeout := time.After(5 * time.Second)
-	for len(delivered) < 2 {
-		select {
-		case d := <-received:
-			delivered = append(delivered, d)
-		case <-timeout:
-			log.Fatal("backend did not receive the clean flows")
+		defer c.Close()
+		if _, err := c.Write(payload); err != nil {
+			log.Fatalf("tenant %v: %v", id, err)
 		}
+		resp := make([]byte, 256)
+		nn, err := c.Read(resp)
+		if err != nil && err != io.EOF {
+			log.Fatalf("tenant %v: %v", id, err)
+		}
+		fmt.Printf("tenant %d sent %q\n          -> %q\n", id, payload, resp[:nn])
 	}
 
-	fmt.Printf("middlebox scanned %d bytes, dropped %d flow(s)\n", scanned, droppedFlows)
-	for _, d := range delivered {
-		fmt.Printf("backend received: %q\n", d)
+	send(1, []byte("quarterly report: all numbers up"))
+	send(2, append([]byte("please "), append(blocked, []byte(" the customer database")...)...))
+	send(3, []byte("lunch menu attached"))
+
+	fmt.Printf("\nmiddlebox scanned %d bytes, blocked %d message(s)\n",
+		scanned.Load(), droppedMsgs.Load())
+
+	// Per-tenant attribution comes with the gateway for free.
+	fmt.Println("\nper-tenant meters:")
+	for _, id := range n.Tb.IDs() {
+		fmt.Printf("  tenant %d: %s\n", id, n.Tb.Tenant(id))
 	}
 
-	// What did the on-path observer learn?
+	// What did the on-path observer learn? Frame counts and sizes only:
+	// hellos aside, every byte on the wire is a ctls record under that
+	// tenant's key.
 	sizes := map[int]int{}
-	for _, rec := range net.Capture() {
+	for _, rec := range n.Net.Capture() {
 		sizes[rec.Len]++
 	}
-	fmt.Printf("\non-path observer: %d frames, %d distinct sizes (raw L2: traffic shape visible)\n",
-		len(net.Capture()), len(sizes))
-	fmt.Println("run the tunnel design (cmd/ciobench -design tunnel -v) to see the same")
-	fmt.Println("workload with every frame padded to one constant size.")
+	fmt.Printf("\non-path observer: %d frames, %d distinct sizes — ciphertext records under\n",
+		len(n.Net.Capture()), len(sizes))
+	fmt.Println("per-tenant keys; no tenant (and no host) can read another tenant's stream.")
+	fmt.Println("run the tunnel design (cmd/ciobench -design tunnel -v) to additionally hide")
+	fmt.Println("the traffic shape behind constant-size frames.")
 }
-
-type rd struct {
-	c interface{ Read([]byte) (int, error) }
-}
-
-func (r rd) Read(p []byte) (int, error) { return r.c.Read(p) }
-
-func readerOf(c interface{ Read([]byte) (int, error) }) io.Reader { return rd{c} }

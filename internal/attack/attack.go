@@ -78,6 +78,11 @@ const (
 	AtkEpochReplay     = "epoch-replay"
 	AtkReattachStorm   = "reattach-storm"
 	AtkL5AfterL2Breach = "l5-after-l2-breach"
+	// Tenant-boundary rows: only transports that multiplex mutually
+	// distrusting tenants (the gateway) have this surface.
+	AtkTenantCrossRead = "tenant-cross-read"
+	AtkTenantStallNbr  = "tenant-stall-neighbor"
+	AtkTenantKillNbr   = "tenant-kill-neighbor"
 )
 
 // AttackNames in matrix order.
@@ -86,11 +91,12 @@ var AttackNames = []string{
 	AtkReplay, AtkForgedHandle, AtkNotifStorm, AtkEventIdxLie,
 	AtkFeatureTOCTOU, AtkStaleMemory, AtkStatusCorrupt, AtkQueueCrossKill,
 	AtkEpochReplay, AtkReattachStorm, AtkL5AfterL2Breach,
+	AtkTenantCrossRead, AtkTenantStallNbr, AtkTenantKillNbr,
 }
 
 // TransportNames in matrix order.
 var TransportNames = []string{
-	"safering", "safering-revoke", "safering-mq", "blkring", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened",
+	"safering", "safering-revoke", "safering-mq", "blkring", "virtio", "virtio-hardened", "netvsc", "netvsc-hardened", "gateway",
 }
 
 // Suite returns every scenario.
@@ -100,6 +106,7 @@ func Suite() []Scenario {
 	s = append(s, blkringScenarios()...)
 	s = append(s, virtioScenarios()...)
 	s = append(s, netvscScenarios()...)
+	s = append(s, gatewayScenarios()...)
 	s = append(s, crossLayerScenarios()...)
 	return s
 }

@@ -4,15 +4,18 @@
 // classifies what each device ends up as. The invariant under test is
 // the recovery contract:
 //
-//	every fault ends in Absorbed, CleanEpoch, or FailDead —
-//	never live-but-corrupt.
+//	every fault ends in Absorbed, CleanEpoch, FailDead, or (for
+//	tenant-scoped faults) Evicted — never live-but-corrupt.
 //
 // A device is allowed to shrug a fault off (Absorbed), to die and come
 // back at a fresh epoch with verified traffic (CleanEpoch), or to die
-// permanently with every operation failing loudly (FailDead). The one
-// forbidden terminal state is Corrupt: a device that still claims to be
-// alive while delivering wrong bytes, or one that recovers outside the
-// quarantine policy.
+// permanently with every operation failing loudly (FailDead). The
+// tenant-isolation scenarios (tenant.go) add one more allowed terminal
+// state: a single tenant stickily Evicted by the gateway while the
+// device and every neighbor keep flowing. The one forbidden terminal
+// state is Corrupt: a device that still claims to be alive while
+// delivering wrong bytes, or one that recovers outside the quarantine
+// policy.
 //
 // The package deliberately imports no testing machinery: the chaos_test
 // suite drives it under `go test`, and cmd/cioattack reuses the same
@@ -44,6 +47,12 @@ const (
 	// FailDead: the device is permanently dead (death budget exhausted
 	// or quarantine held) and every operation fails loudly.
 	FailDead Outcome = "fail-dead"
+	// Evicted: a *tenant-scoped* terminal state — the faulty tenant's
+	// fault budget is exhausted and it is stickily refused by the
+	// gateway, while the device underneath stays alive and every other
+	// tenant's traffic verifies uninterrupted. The tenant analogue of
+	// FailDead, one containment layer up.
+	Evicted Outcome = "evicted"
 	// Corrupt is the forbidden state: live but wrong. Any scenario
 	// returning it is a bug in the recovery subsystem.
 	Corrupt Outcome = "CORRUPT"

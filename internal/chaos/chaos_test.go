@@ -23,6 +23,11 @@ func TestScriptedFaults(t *testing.T) {
 		"blk-host-stall":        CleanEpoch,
 		"blk-slow-host":         CleanEpoch,
 		"blk-epoch-replay":      CleanEpoch,
+		"tenant-flood":          CleanEpoch,
+		"tenant-stall":          CleanEpoch,
+		"tenant-key-corrupt":    CleanEpoch,
+		"tenant-evict-storm":    Evicted,
+		"cross-tenant-death":    Evicted,
 	}
 	for _, sc := range Scenarios() {
 		sc := sc

@@ -34,6 +34,11 @@ func Scenarios() []Scenario {
 		{"blk-host-stall", runBlkHostStall},
 		{"blk-slow-host", runBlkSlowHost},
 		{"blk-epoch-replay", runBlkEpochReplay},
+		{"tenant-flood", runTenantFlood},
+		{"tenant-stall", runTenantStall},
+		{"tenant-key-corrupt", runTenantKeyCorrupt},
+		{"tenant-evict-storm", runTenantEvictStorm},
+		{"cross-tenant-death", runCrossTenantDeath},
 	}
 }
 

@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTenantID drives the gateway's tenant-identifier parse/route path
+// with hostile input: arbitrary hello bytes plus a queue count, checking
+// that parsing never panics or accepts junk, that accepted ids roundtrip
+// exactly, and that steering — the same FNV-1a construction the NIC's
+// flow steering uses — always lands in range, for every id the parser
+// can produce. The seed corpus mirrors the steering property-test
+// shapes: boundary ids (zero, one, max), truncations, magic corruption,
+// and oversize input.
+func FuzzTenantID(f *testing.F) {
+	f.Add([]byte{}, 1)
+	f.Add(EncodeHello(1), 1)
+	f.Add(EncodeHello(1), 4)
+	f.Add(EncodeHello(^TenantID(0)), 4)                         // max id
+	f.Add(EncodeHello(0x1p8-1), 3)                              // non-power-of-two queues
+	f.Add(append([]byte("CIO\x01"), 0, 0, 0, 0, 0, 0, 0, 0), 4) // zero id
+	f.Add([]byte("CIO\x01"), 4)                                 // truncated id
+	f.Add([]byte("XIO\x01AAAAAAAA"), 4)                         // corrupt magic
+	f.Add(append(EncodeHello(7), 0xff), 4)                      // trailing byte
+	f.Add(bytes.Repeat([]byte{0xff}, 4096), 16)                 // oversize
+	// FNV-1a steering collision shape: sequential ids that the hash must
+	// still spread (the property test's corpus shape for QueueFor).
+	for id := TenantID(1); id <= 8; id++ {
+		f.Add(EncodeHello(id), 8)
+	}
+
+	f.Fuzz(func(t *testing.T, hello []byte, queues int) {
+		id, err := ParseHello(hello)
+		if err != nil {
+			// Rejections must be total: zero id, untouched input.
+			if id != 0 {
+				t.Fatalf("rejected hello returned id %v", id)
+			}
+			return
+		}
+		// Accepted hellos are exactly well-formed: canonical length,
+		// canonical re-encoding, nonzero id.
+		if id == 0 {
+			t.Fatal("parser accepted the reserved zero id")
+		}
+		if len(hello) != HelloLen {
+			t.Fatalf("parser accepted %d bytes, want exactly %d", len(hello), HelloLen)
+		}
+		if !bytes.Equal(EncodeHello(id), hello) {
+			t.Fatalf("roundtrip mismatch: %x -> %v -> %x", hello, id, EncodeHello(id))
+		}
+		if got := TenantID(binary.BigEndian.Uint64(hello[4:])); got != id {
+			t.Fatalf("id decode mismatch: %v != %v", got, id)
+		}
+		// Steering stays in range for any queue count, including the
+		// degenerate ones, and is deterministic.
+		for _, n := range []int{-1, 0, 1, 2, 3, 4, 8, 16, queues} {
+			q := SteerTenant(id, n)
+			if n <= 1 {
+				if q != 0 {
+					t.Fatalf("SteerTenant(%v, %d) = %d, want 0", id, n, q)
+				}
+				continue
+			}
+			if q < 0 || q >= n {
+				t.Fatalf("SteerTenant(%v, %d) = %d out of range", id, n, q)
+			}
+			if q2 := SteerTenant(id, n); q2 != q {
+				t.Fatalf("SteerTenant nondeterministic: %d vs %d", q, q2)
+			}
+		}
+	})
+}

@@ -24,6 +24,9 @@ type Meter struct {
 	deaths        atomic.Uint64
 	reincarnation atomic.Uint64
 	stalls        atomic.Uint64
+	frames        atomic.Uint64
+	drops         atomic.Uint64
+	evictions     atomic.Uint64
 
 	// lat is the HDR-style log-linear latency histogram behind
 	// RecordLatency/LatencyPercentiles (see latIndex for the bucket
@@ -135,6 +138,33 @@ func (m *Meter) Stall(n int) {
 	}
 }
 
+// Frame records n application-level frames (messages) carried for the
+// principal this meter is attributed to — the gateway charges each
+// relayed message to its tenant's meter, so throughput blame is
+// per-tenant, not device-global.
+func (m *Meter) Frame(n int) {
+	if m != nil {
+		m.frames.Add(uint64(n))
+	}
+}
+
+// Drop records n frames or flows discarded for the metered principal
+// (admission refusals, shed flows, quota overflow). Drops carry no
+// ModelNanos weight; they are the blame column of the fairness story.
+func (m *Meter) Drop(n int) {
+	if m != nil {
+		m.drops.Add(uint64(n))
+	}
+}
+
+// Evict records n sticky tenant evictions (a per-tenant fault budget
+// exhausted — the tenant-scoped analogue of device fail-dead).
+func (m *Meter) Evict(n int) {
+	if m != nil {
+		m.evictions.Add(uint64(n))
+	}
+}
+
 // Costs is an immutable snapshot of a Meter.
 type Costs struct {
 	TEECrossings     uint64
@@ -150,6 +180,9 @@ type Costs struct {
 	Deaths           uint64
 	Reincarnations   uint64
 	StallsDetected   uint64
+	Frames           uint64
+	Drops            uint64
+	Evictions        uint64
 }
 
 // Snapshot captures the meter's current counters.
@@ -168,6 +201,9 @@ func (m *Meter) Snapshot() Costs {
 		Deaths:           m.deaths.Load(),
 		Reincarnations:   m.reincarnation.Load(),
 		StallsDetected:   m.stalls.Load(),
+		Frames:           m.frames.Load(),
+		Drops:            m.drops.Load(),
+		Evictions:        m.evictions.Load(),
 	}
 }
 
@@ -187,6 +223,9 @@ func (c Costs) Sub(earlier Costs) Costs {
 		Deaths:           c.Deaths - earlier.Deaths,
 		Reincarnations:   c.Reincarnations - earlier.Reincarnations,
 		StallsDetected:   c.StallsDetected - earlier.StallsDetected,
+		Frames:           c.Frames - earlier.Frames,
+		Drops:            c.Drops - earlier.Drops,
+		Evictions:        c.Evictions - earlier.Evictions,
 	}
 }
 
@@ -206,6 +245,9 @@ func (c Costs) Add(other Costs) Costs {
 		Deaths:           c.Deaths + other.Deaths,
 		Reincarnations:   c.Reincarnations + other.Reincarnations,
 		StallsDetected:   c.StallsDetected + other.StallsDetected,
+		Frames:           c.Frames + other.Frames,
+		Drops:            c.Drops + other.Drops,
+		Evictions:        c.Evictions + other.Evictions,
 	}
 }
 
@@ -222,6 +264,10 @@ func (c Costs) String() string {
 	// when present keeps the steady-state benchmark lines unchanged.
 	if c.Deaths != 0 || c.Reincarnations != 0 || c.StallsDetected != 0 {
 		s += fmt.Sprintf(" deaths=%d reinc=%d stalls=%d", c.Deaths, c.Reincarnations, c.StallsDetected)
+	}
+	// Tenant-attribution counters only appear on gateway meters.
+	if c.Frames != 0 || c.Drops != 0 || c.Evictions != 0 {
+		s += fmt.Sprintf(" frames=%d drops=%d evict=%d", c.Frames, c.Drops, c.Evictions)
 	}
 	return s
 }
@@ -330,14 +376,23 @@ func (s LatencySummary) String() string {
 
 // latSnapshot accumulates the histogram's buckets into dst and returns
 // the total sample count added (the merge primitive MeterBank uses).
+//
+// The count is read BEFORE the buckets: RecordLatency increments the
+// bucket first and the count second, so a count read first is a lower
+// bound on what the subsequent bucket sweep will see. Read the other
+// way around, a concurrent recorder could leave the merge with
+// count > sum(buckets), and the percentile walk would run off the end
+// of the array with its tail targets unresolved (a torn merge the
+// -race stress test pins).
 func (m *Meter) latSnapshot(dst *[latBuckets]uint64) uint64 {
 	if m == nil {
 		return 0
 	}
+	count := m.lat.count.Load()
 	for i := range dst {
 		dst[i] += m.lat.buckets[i].Load()
 	}
-	return m.lat.count.Load()
+	return count
 }
 
 // latPercentiles walks an accumulated bucket array once, lifting the

@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMeterBankLatencyMergeRace hammers RecordLatency on every queue of
+// a bank while LatencyPercentiles merges concurrently. Run under -race
+// it pins two properties of the merge:
+//
+//  1. No torn counts: a merge must never observe count > sum(buckets).
+//     RecordLatency increments bucket-then-count, and latSnapshot reads
+//     count-then-buckets, so every merged summary has its percentile
+//     targets resolved — P50 <= P99 <= P999 with none left at the zero
+//     value while smaller percentiles resolved above it.
+//  2. Monotone counts: Count never decreases across successive merges,
+//     and the final quiesced merge sees exactly the recorded total.
+func TestMeterBankLatencyMergeRace(t *testing.T) {
+	const (
+		queues    = 4
+		recorders = 2 // per queue
+		perRec    = 5000
+	)
+	bank := NewMeterBank(queues)
+
+	// The sample population spans several histogram majors so the
+	// percentile walk has real distance to cover while buckets churn.
+	samples := []time.Duration{
+		3, 17 * time.Nanosecond, 900 * time.Nanosecond,
+		7 * time.Microsecond, 250 * time.Microsecond, 4 * time.Millisecond,
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for q := 0; q < queues; q++ {
+		m := bank.Queue(q)
+		for r := 0; r < recorders; r++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for i := 0; i < perRec; i++ {
+					m.RecordLatency(samples[(seed+i)%len(samples)])
+				}
+			}(q*recorders + r)
+		}
+	}
+
+	// Merge continuously until the recorders finish.
+	var mergerWG sync.WaitGroup
+	mergerWG.Add(1)
+	merges := 0
+	go func() {
+		defer mergerWG.Done()
+		prev := uint64(0)
+		for !stop.Load() {
+			s := bank.LatencyPercentiles()
+			merges++
+			if s.Count < prev {
+				t.Errorf("merge %d: count went backwards: %d -> %d", merges, prev, s.Count)
+				return
+			}
+			prev = s.Count
+			if s.Count == 0 {
+				continue
+			}
+			if s.P50 > s.P99 || s.P99 > s.P999 {
+				t.Errorf("merge %d: non-monotone percentiles: %v", merges, s)
+				return
+			}
+			// A torn merge (count > sum(buckets)) leaves tail targets
+			// unresolved at zero while earlier ones resolved nonzero.
+			if s.P999 == 0 && s.P50 > 0 {
+				t.Errorf("merge %d: tail target unresolved (torn merge): %v", merges, s)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	mergerWG.Wait()
+
+	want := uint64(queues * recorders * perRec)
+	final := bank.LatencyPercentiles()
+	if final.Count != want {
+		t.Fatalf("final merged count = %d, want %d", final.Count, want)
+	}
+	if final.P50 > final.P99 || final.P99 > final.P999 {
+		t.Fatalf("final percentiles non-monotone: %v", final)
+	}
+	// The largest sample must be visible somewhere at or below P999's
+	// bucket; with 1/6 of samples at 4ms, P999 lands in that major.
+	if final.P999 < time.Millisecond {
+		t.Fatalf("P999 = %v, want >= 1ms (population has 1/6 at 4ms)", final.P999)
+	}
+	t.Logf("final: %v", final)
+}
+
+// TestTenantBankLatencyMergeRace runs the same torn-merge stress against
+// the TenantBank, whose merge additionally races lazy tenant allocation
+// against the snapshot loop.
+func TestTenantBankLatencyMergeRace(t *testing.T) {
+	const (
+		tenants = 6
+		perTen  = 4000
+	)
+	bank := NewTenantBank()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= tenants; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < perTen; i++ {
+				// Allocate lazily inside the loop on purpose: the merge
+				// must tolerate the meter map growing mid-snapshot.
+				bank.Meter(id).RecordLatency(time.Duration(id) * time.Microsecond)
+				bank.Meter(id).Frame(1)
+			}
+		}(id)
+	}
+
+	var mergerWG sync.WaitGroup
+	mergerWG.Add(1)
+	go func() {
+		defer mergerWG.Done()
+		prev := uint64(0)
+		for !stop.Load() {
+			s := bank.LatencyPercentiles()
+			if s.Count < prev {
+				t.Errorf("tenant merge count went backwards: %d -> %d", prev, s.Count)
+				return
+			}
+			prev = s.Count
+			if s.Count > 0 && (s.P50 > s.P99 || s.P99 > s.P999) {
+				t.Errorf("tenant merge non-monotone: %v", s)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	mergerWG.Wait()
+
+	if got, want := bank.LatencyPercentiles().Count, uint64(tenants*perTen); got != want {
+		t.Fatalf("final tenant merged count = %d, want %d", got, want)
+	}
+	if got, want := bank.Snapshot().Frames, uint64(tenants*perTen); got != want {
+		t.Fatalf("aggregated frames = %d, want %d", got, want)
+	}
+	if got := bank.Len(); got != tenants {
+		t.Fatalf("bank.Len() = %d, want %d", got, tenants)
+	}
+	// Per-tenant tails stay tenant-local: tenant 1 recorded only 1µs
+	// samples, tenant 6 only 6µs — the merge must not bleed across.
+	t1 := bank.TenantLatency(1)
+	t6 := bank.TenantLatency(tenants)
+	if t1.P999 >= t6.P50 {
+		t.Fatalf("per-tenant histograms bled: tenant1 %v vs tenant6 %v", t1, t6)
+	}
+}

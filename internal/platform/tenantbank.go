@@ -1,0 +1,143 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TenantBank is the per-tenant sibling of MeterBank: a registry of
+// Meters keyed by tenant identifier instead of queue index. Where the
+// MeterBank answers "which queue is hot", the TenantBank answers "which
+// tenant is to blame" — the gateway charges every relayed frame, shed
+// flow, admission refusal and eviction to the owning tenant's meter, so
+// a noisy or hostile tenant is attributable from the counters alone.
+//
+// Tenants appear lazily on first charge and are never removed (an
+// evicted tenant's counters are exactly the audit record worth
+// keeping). A nil *TenantBank is valid everywhere, mirroring the nil
+// *Meter / nil *MeterBank convention.
+//
+// All methods are safe for concurrent use; Meter is the hot-path call
+// and takes only a read lock once the tenant exists.
+type TenantBank struct {
+	mu     sync.RWMutex
+	meters map[uint64]*Meter
+}
+
+// NewTenantBank allocates an empty bank.
+func NewTenantBank() *TenantBank {
+	return &TenantBank{meters: make(map[uint64]*Meter)}
+}
+
+// Meter returns tenant id's meter, allocating it on first use. Returns
+// nil when the bank is nil (and every Meter method is nil-safe).
+func (b *TenantBank) Meter(id uint64) *Meter {
+	if b == nil {
+		return nil
+	}
+	b.mu.RLock()
+	m := b.meters[id]
+	b.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m = b.meters[id]; m == nil {
+		m = &Meter{}
+		b.meters[id] = m
+	}
+	return m
+}
+
+// Len returns the number of tenants metered so far.
+func (b *TenantBank) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.meters)
+}
+
+// IDs returns every metered tenant id in ascending order (deterministic
+// for tables and tests).
+func (b *TenantBank) IDs() []uint64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.RLock()
+	ids := make([]uint64, 0, len(b.meters))
+	for id := range b.meters {
+		ids = append(ids, id)
+	}
+	b.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Tenant returns tenant id's cost snapshot (zero Costs when the tenant
+// has never been charged).
+func (b *TenantBank) Tenant(id uint64) Costs {
+	if b == nil {
+		return Costs{}
+	}
+	b.mu.RLock()
+	m := b.meters[id]
+	b.mu.RUnlock()
+	if m == nil {
+		return Costs{}
+	}
+	return m.Snapshot()
+}
+
+// Snapshot returns the aggregated costs across every tenant.
+func (b *TenantBank) Snapshot() Costs {
+	var total Costs
+	if b == nil {
+		return total
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, m := range b.meters {
+		total = total.Add(m.Snapshot())
+	}
+	return total
+}
+
+// TenantLatency returns tenant id's own latency percentile summary —
+// the per-tenant tail the fairness experiments compare across tenants.
+func (b *TenantBank) TenantLatency(id uint64) LatencySummary {
+	if b == nil {
+		return LatencySummary{}
+	}
+	b.mu.RLock()
+	m := b.meters[id]
+	b.mu.RUnlock()
+	if m == nil {
+		return LatencySummary{}
+	}
+	return m.LatencyPercentiles()
+}
+
+// LatencyPercentiles merges every tenant's histogram bucket-wise and
+// summarizes the gateway-level distribution, leaving each tenant's own
+// histogram untouched.
+func (b *TenantBank) LatencyPercentiles() LatencySummary {
+	if b == nil {
+		return LatencySummary{}
+	}
+	var buckets [latBuckets]uint64
+	count := uint64(0)
+	b.mu.RLock()
+	for _, m := range b.meters {
+		count += m.latSnapshot(&buckets)
+	}
+	b.mu.RUnlock()
+	return latPercentiles(&buckets, count)
+}
+
+func (b *TenantBank) String() string {
+	return fmt.Sprintf("tenantbank(%d tenants): %s", b.Len(), b.Snapshot())
+}

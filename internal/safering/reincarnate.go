@@ -160,6 +160,17 @@ func NewQuarantine(p RecoveryPolicy) *Quarantine {
 // (retry after backoff) or ErrBudgetExhausted (permanent).
 func (q *Quarantine) Admit() error { return q.r.admit() }
 
+// NotBefore reports the instant before which the next Admit is refused
+// (zero until the first admission). Admission gates that want to refuse
+// work cheaply during backoff — without consuming budget or taking an
+// admission — compare the clock against this instead of calling Admit.
+func (q *Quarantine) NotBefore() time.Time { return q.r.notBefore }
+
+// Permanent reports whether the budget has been exhausted: every later
+// Admit returns ErrBudgetExhausted and the guarded principal is dead
+// (device) or evicted (tenant) for good.
+func (q *Quarantine) Permanent() bool { return q.r.permanent }
+
 // SetRecoveryPolicy installs the quarantine policy governing Reincarnate,
 // replacing any accumulated quarantine state. Call it at device setup;
 // the default is DefaultRecoveryPolicy.
