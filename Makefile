@@ -21,10 +21,12 @@ vet:
 	$(GO) vet ./...
 
 # ciovet runs the confio-specific analyzers (doublefetch, maskidx,
-# hosttaint, sharedatomic, fatalviolation, sharedescape, latchclear); see
-# DESIGN.md "Static analysis". The gate is two-sided: any unsuppressed
-# diagnostic fails, and the //ciovet:allow suppression multiset must match
-# the audited baseline exactly — new opt-outs and stale records both fail.
+# hosttaint, sharedatomic, fatalviolation, sharedescape, latchclear,
+# bufown, lockdisc) in dependency order with cross-package facts; see
+# DESIGN.md "Static analysis" and §13. The gate is two-sided: any
+# unsuppressed diagnostic fails, and the //ciovet:allow suppression
+# multiset must match the audited baseline exactly — new opt-outs and
+# stale records both fail.
 ciovet:
 	$(GO) run ./cmd/ciovet -json -baseline ciovet_baseline.json ./...
 

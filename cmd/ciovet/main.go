@@ -11,8 +11,12 @@
 // both new opt-outs and stale records fail the gate — and -update rewrites
 // the file after an audit.
 //
-// Output is sorted by source position, so runs are byte-for-byte
-// reproducible; -json emits one finding per line for tooling.
+// Packages are analyzed in dependency order with cross-package facts
+// (taint, ownership, lock discipline) flowing from each package to its
+// dependents, and independent subtrees run in parallel (-par, default
+// GOMAXPROCS). Output is sorted by source position, so runs are
+// byte-for-byte reproducible regardless of the schedule; -json emits
+// one finding per line for tooling.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
@@ -108,6 +113,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline file of audited suppressions; a relative path is resolved from the module root, and the current multiset must match the file exactly")
 	update := flag.Bool("update", false, "rewrite the -baseline file from the current suppressions instead of checking")
 	stats := flag.Bool("stats", false, "print a per-analyzer, per-package table of finding and suppression counts")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "number of packages analyzed concurrently (dependency order is always respected)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ciovet [-v] [-list] [-json] [-stats] [-baseline file [-update]] [packages]\n\n"+
 			"Mechanically enforces the paper's trust-boundary hardening rules.\n\n")
@@ -168,12 +174,13 @@ func main() {
 	var diags []finding
 	var suppressed []finding
 	var entries []analysis.BaselineEntry
-	for _, pkg := range pkgs {
-		res, err := analysis.Run(pkg, suite)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ciovet:", err)
-			os.Exit(2)
-		}
+	results, _, err := analysis.RunModule(pkgs, suite, *par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciovet:", err)
+		os.Exit(2)
+	}
+	for _, pr := range results {
+		pkg, res := pr.Pkg, pr.Res
 		for _, d := range res.Diagnostics {
 			diags = append(diags, toFinding(pkg.Fset, d))
 			bump(pkg.Path, d.Rule, false)

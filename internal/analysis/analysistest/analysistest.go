@@ -39,23 +39,52 @@ func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		wants, err := collectWants(pkg)
-		if err != nil {
-			t.Fatalf("corpus %s: %v", path, err)
-		}
+		checkWants(t, pkg, res)
+	}
+}
 
-		for _, d := range res.Diagnostics {
-			p := pkg.Fset.Position(d.Pos)
-			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
-			if !claim(wants[key], d.Message) {
-				t.Errorf("%s: unexpected diagnostic [%s] %s", p, d.Rule, d.Message)
-			}
+// RunDeps is Run with the fact layer threaded through: the corpus
+// packages are analyzed in the order given, each seeing the facts
+// exported by those before it — the testdata equivalent of the
+// module driver's dependency-ordered schedule. Want comments are
+// checked in every package, so cross-package fixtures pin both the
+// dependency's (usually silent) analysis and the dependent's
+// fact-driven findings.
+func RunDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	store := analysis.NewFactStore()
+	for _, path := range pkgPaths {
+		pkg, err := analysis.LoadTestdata(srcRoot, path)
+		if err != nil {
+			t.Fatalf("loading corpus %s: %v", path, err)
 		}
-		for key, ws := range wants {
-			for _, w := range ws {
-				if !w.matched {
-					t.Errorf("%s: no diagnostic matched want %q", key, w.re)
-				}
+		res, err := analysis.RunWithFacts(pkg, []*analysis.Analyzer{a}, store)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, res)
+	}
+}
+
+// checkWants reports any mismatch between produced diagnostics and the
+// package's want comments.
+func checkWants(t *testing.T, pkg *analysis.Package, res analysis.Result) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("corpus %s: %v", pkg.Path, err)
+	}
+	for _, d := range res.Diagnostics {
+		p := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", p, d.Rule, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
 			}
 		}
 	}

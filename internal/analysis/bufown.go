@@ -43,8 +43,11 @@ import (
 // same call-graph summaries as hosttaint: each in-package callee is
 // summarized (to a fixpoint) as consuming, borrowing, or transferring
 // ownership of each parameter slot and as returning ownership per
-// result; unknown callees borrow, which is the conservative-clean
-// default shared by the rest of the suite.
+// result. Statically resolved out-of-package callees consult the fact
+// layer (OwnFacts exported by dependencies under the module driver), so
+// a helper in another package that frees its argument still kills the
+// caller's value; callees with no fact borrow, which is the
+// conservative-clean default shared by the rest of the suite.
 var BufOwnAnalyzer = &Analyzer{
 	Name: "bufown",
 	Doc: "track ownership of lease/release buffers (ring frames, arena slabs, compartment buffers, " +
@@ -136,7 +139,47 @@ func runBufOwn(pass *Pass) error {
 	for _, hf := range st.ordered {
 		st.analyzeFunc(hf)
 	}
+
+	// Export the non-trivial final summaries as facts for dependents.
+	for _, hf := range st.ordered {
+		pass.ExportOwn(hf.obj, ownFactOf(st.sums[hf]))
+	}
 	return nil
+}
+
+// ownFactOf converts a final ownership summary into its exportable
+// fact, or nil when the function neither consumes, transfers, nor
+// returns ownership.
+func ownFactOf(sum *ownSummary) *OwnFact {
+	interesting := sum.consumes != 0 || sum.transfers != 0
+	for _, b := range sum.retOwned {
+		interesting = interesting || b
+	}
+	if !interesting {
+		return nil
+	}
+	return &OwnFact{
+		Consumes:  uint64(sum.consumes),
+		Transfers: uint64(sum.transfers),
+		RetOwned:  append([]bool(nil), sum.retOwned...),
+	}
+}
+
+// importedOwnSummary synthesizes a local-shaped summary from the fact a
+// dependency exported for this call's callee, with arguments aligned to
+// its parameter slots (receiver first). Nil when the callee is dynamic
+// or has no fact.
+func (sc *ownScope) importedOwnSummary(call *ast.CallExpr) (*ownSummary, []ast.Expr) {
+	fn, args := resolveCallee(sc.st.pass.TypesInfo, call)
+	f := sc.st.pass.ImportedOwn(fn)
+	if f == nil {
+		return nil, nil
+	}
+	return &ownSummary{
+		consumes:  paramBits(f.Consumes),
+		transfers: paramBits(f.Transfers),
+		retOwned:  f.RetOwned,
+	}, args
 }
 
 // builtinOwnSpecs registers the module's structural lease/release types.
@@ -683,15 +726,20 @@ func (sc *ownScope) call(call *ast.CallExpr) {
 	name := calleeName(call)
 	hf, aligned := resolveCall(info, sc.st.fns, call)
 	var sum *ownSummary
+	resolved := hf != nil
 	if hf != nil {
 		sum = sc.st.sums[hf]
+	} else if is, iargs := sc.importedOwnSummary(call); is != nil {
+		// Out-of-package callee with an exported fact: treat it exactly
+		// like a summarized local callee.
+		sum, aligned, resolved = is, iargs, true
 	}
 
 	// Align operands to callee slots: for a resolved method call the
 	// receiver is slot 0; otherwise slots are positional (or unknown).
 	ops := call.Args
 	slot0 := 0
-	if hf != nil && len(aligned) == len(call.Args)+1 {
+	if resolved && len(aligned) == len(call.Args)+1 {
 		ops = aligned
 	} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		// Unresolved (or package-qualified) method/function: process the
@@ -700,7 +748,7 @@ func (sc *ownScope) call(call *ast.CallExpr) {
 	}
 	for i, a := range ops {
 		slot := slot0 + i
-		if hf == nil {
+		if !resolved {
 			slot = -1
 		}
 		sc.operand(a, name, slot, sum)
@@ -800,6 +848,8 @@ func (sc *ownScope) callResults(call *ast.CallExpr) []*ownSpec {
 	var sum *ownSummary
 	if hf != nil {
 		sum = sc.st.sums[hf]
+	} else if is, _ := sc.importedOwnSummary(call); is != nil {
+		sum = is
 	}
 	specs := make([]*ownSpec, len(rts))
 	any := false

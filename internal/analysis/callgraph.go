@@ -104,18 +104,23 @@ func defObj(info *types.Info, id *ast.Ident) types.Object {
 	return info.Defs[id]
 }
 
-// resolveCall statically resolves a call expression to a function declared
-// in this package, returning its htFunc and the argument expressions
-// aligned to its parameter slots (receiver expression first for method
-// calls). Dynamic calls — interface methods, function values, method
-// expressions, out-of-package callees — return nil: the analysis has no
-// summary for them and stays conservative.
-func resolveCall(info *types.Info, fns map[*types.Func]*htFunc, call *ast.CallExpr) (*htFunc, []ast.Expr) {
+// resolveCallee statically resolves a call expression to its callee
+// regardless of which package declares it, returning the callee's origin
+// *types.Func (generic instantiations map back to their declaration) and
+// the argument expressions aligned to its parameter slots (receiver
+// expression first for method calls). Dynamic calls — interface methods,
+// function values, method expressions — return nil.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (*types.Func, []ast.Expr) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
-			if hf := fns[fn]; hf != nil {
-				return hf, call.Args
+			return fn.Origin(), call.Args
+		}
+	case *ast.IndexExpr:
+		// Explicitly instantiated generic function: F[T](args).
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn.Origin(), call.Args
 			}
 		}
 	case *ast.SelectorExpr:
@@ -127,20 +132,30 @@ func resolveCall(info *types.Info, fns map[*types.Func]*htFunc, call *ast.CallEx
 			if !ok {
 				return nil, nil
 			}
-			if hf := fns[fn]; hf != nil {
-				args := make([]ast.Expr, 0, len(call.Args)+1)
-				args = append(args, fun.X)
-				args = append(args, call.Args...)
-				return hf, args
-			}
-			return nil, nil
+			args := make([]ast.Expr, 0, len(call.Args)+1)
+			args = append(args, fun.X)
+			args = append(args, call.Args...)
+			return fn.Origin(), args
 		}
-		// Package-qualified call (pkg.F): out of package by definition.
+		// Package-qualified call (pkg.F).
 		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			if hf := fns[fn]; hf != nil {
-				return hf, call.Args
-			}
+			return fn.Origin(), call.Args
 		}
+	}
+	return nil, nil
+}
+
+// resolveCall statically resolves a call expression to a function declared
+// in this package, returning its htFunc and the aligned arguments. Calls
+// that resolveCallee cannot resolve, and callees declared elsewhere,
+// return nil — the caller falls back to imported facts or conservatism.
+func resolveCall(info *types.Info, fns map[*types.Func]*htFunc, call *ast.CallExpr) (*htFunc, []ast.Expr) {
+	fn, args := resolveCallee(info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if hf := fns[fn]; hf != nil {
+		return hf, args
 	}
 	return nil, nil
 }

@@ -1,0 +1,163 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confio/internal/analysis"
+)
+
+// copyCorpus copies the named corpus packages from testdata/src into a
+// fresh root the test can mutate.
+func copyCorpus(t *testing.T, pkgs ...string) string {
+	t.Helper()
+	root := t.TempDir()
+	for _, p := range pkgs {
+		srcDir := filepath.Join(corpus(), p)
+		err := filepath.WalkDir(srcDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(corpus(), path)
+			if err != nil {
+				return err
+			}
+			dst := filepath.Join(root, rel)
+			if d.IsDir() {
+				return os.MkdirAll(dst, 0o755)
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(dst, b, 0o644)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func analyzeInto(t *testing.T, root, pkgPath string, store *analysis.FactStore) analysis.Result {
+	t.Helper()
+	pkg, err := analysis.LoadTestdata(root, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	res, err := analysis.RunWithFacts(pkg, []*analysis.Analyzer{analysis.LockDiscAnalyzer}, store)
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", pkgPath, err)
+	}
+	return res
+}
+
+func hasFinding(res analysis.Result, substr string) bool {
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFactFingerprintDeterministic: analyzing the same source twice
+// yields byte-identical fact fingerprints — the precondition for using
+// fingerprints as a rebuild-invalidation signal at all.
+func TestFactFingerprintDeterministic(t *testing.T) {
+	root := copyCorpus(t, "sync", "lockfacts")
+	s1, s2 := analysis.NewFactStore(), analysis.NewFactStore()
+	analyzeInto(t, root, "lockfacts", s1)
+	analyzeInto(t, root, "lockfacts", s2)
+	fp1, fp2 := s1.Fingerprint("lockfacts"), s2.Fingerprint("lockfacts")
+	if fp1 == "" || fp1 != fp2 {
+		t.Fatalf("fingerprints differ across identical analyses: %q vs %q", fp1, fp2)
+	}
+}
+
+// TestFactRoundTrip: facts survive serialization with fingerprint and
+// contract intact, as a separate-process importer would read them.
+func TestFactRoundTrip(t *testing.T) {
+	root := copyCorpus(t, "sync", "lockfacts")
+	store := analysis.NewFactStore()
+	analyzeInto(t, root, "lockfacts", store)
+	f := store.Pkg("lockfacts")
+	if f == nil {
+		t.Fatal("no facts exported for lockfacts")
+	}
+	data, err := analysis.EncodeFacts(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.DecodeFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != f.Fingerprint {
+		t.Fatalf("fingerprint changed across encode/decode: %q -> %q", f.Fingerprint, got.Fingerprint)
+	}
+	if len(got.Lock) != len(f.Lock) {
+		t.Fatalf("lock facts lost in round trip: %d -> %d", len(f.Lock), len(got.Lock))
+	}
+}
+
+// TestFactStalenessInvalidatesDownstream is the rebuild-regression test:
+// when a dependency is re-analyzed with a CHANGED contract, the
+// dependent's recorded facts must register as stale — and re-analysis
+// under the new facts must actually change the findings, proving that
+// serving the cached result would have been wrong.
+func TestFactStalenessInvalidatesDownstream(t *testing.T) {
+	root := copyCorpus(t, "sync", "lockfacts", "lockdep")
+
+	// Build v1: the lockfacts contract (//ciovet:locked Mu on PushLocked)
+	// makes lockdep's unlocked call a finding, and lockdep's facts record
+	// the dependency fingerprint they were computed under.
+	v1 := analysis.NewFactStore()
+	analyzeInto(t, root, "lockfacts", v1)
+	res1 := analyzeInto(t, root, "lockdep", v1)
+	if !hasFinding(res1, "call to PushLocked requires holding") {
+		t.Fatal("v1 run missing the cross-package locked-call finding")
+	}
+	depFacts := v1.Pkg("lockdep")
+	if depFacts == nil || depFacts.Deps["lockfacts"] == "" {
+		t.Fatal("lockdep facts did not record the lockfacts dependency fingerprint")
+	}
+	if v1.Stale(depFacts) {
+		t.Fatal("fresh facts report stale against the store they were built in")
+	}
+
+	// Rebuild the dependency with the contract removed: PushLocked no
+	// longer requires the caller to hold Mu.
+	src := filepath.Join(root, "lockfacts", "lockfacts.go")
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2src := strings.Replace(string(b), "//ciovet:locked Mu", "// contract removed in v2", 1)
+	if v2src == string(b) {
+		t.Fatal("lockfacts corpus no longer carries the //ciovet:locked Mu contract this test rewrites")
+	}
+	if err := os.WriteFile(src, []byte(v2src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := analysis.NewFactStore()
+	analyzeInto(t, root, "lockfacts", v2)
+	if v1.Fingerprint("lockfacts") == v2.Fingerprint("lockfacts") {
+		t.Fatal("changed contract did not change the dependency fingerprint")
+	}
+
+	// The dependent's v1 facts are stale against the rebuilt dependency:
+	// a driver consulting Stale must re-analyze, not reuse.
+	if !v2.Stale(depFacts) {
+		t.Fatal("dependent facts not reported stale after dependency contract change")
+	}
+
+	// And re-analysis under v2 facts really does change the answer.
+	res2 := analyzeInto(t, root, "lockdep", v2)
+	if hasFinding(res2, "call to PushLocked requires holding") {
+		t.Fatal("locked-call finding survived removal of the dependency contract: stale facts were reused")
+	}
+}

@@ -39,9 +39,13 @@ import (
 // that crossed a function boundary, so the two rules never double-report.
 // Loop-bound and unsafe-conversion sinks are new with this rule and are
 // reported for local flows too. Calls that cannot be resolved statically
-// (interface methods, function values, out-of-package callees) are
-// treated as clean — cross-package flows are still caught because the
-// shared-memory accessors are matched structurally in every package.
+// (interface methods, function values) are treated as clean. Statically
+// resolved out-of-package callees consult the fact layer: under the
+// module driver (RunModule) every dependency is analyzed first and its
+// summaries exported as TaintFacts, so a length fetched from shared
+// memory inside safering and returned to a caller in nic is tracked
+// across the package boundary. Outside the module driver (single-package
+// Run) no facts are loaded and such callees stay conservative-clean.
 var HostTaintAnalyzer = &Analyzer{
 	Name: "hosttaint",
 	Doc: "interprocedural host-taint dataflow: flags shared-memory values that cross " +
@@ -148,7 +152,43 @@ func runHostTaint(pass *Pass) error {
 	for _, hf := range st.ordered {
 		st.analyzeFunc(hf)
 	}
+
+	// Export the non-trivial final summaries as facts for dependents.
+	for _, hf := range st.ordered {
+		pass.ExportTaint(hf.obj, taintFactOf(st.sums[hf]))
+	}
 	return nil
+}
+
+// taintFactOf converts a final taint summary into its exportable fact,
+// or nil when the summary says nothing a caller could use.
+func taintFactOf(sum *taintSummary) *TaintFact {
+	interesting := sum.sanitizedFn || sum.paramChecked != 0 || len(sum.paramSink) > 0
+	for _, b := range sum.retTainted {
+		interesting = interesting || b
+	}
+	for _, bits := range sum.retFrom {
+		interesting = interesting || bits != 0
+	}
+	if !interesting {
+		return nil
+	}
+	f := &TaintFact{
+		RetTainted:   append([]bool(nil), sum.retTainted...),
+		RetFrom:      make([]uint64, len(sum.retFrom)),
+		ParamChecked: uint64(sum.paramChecked),
+		Sanitized:    sum.sanitizedFn,
+	}
+	for i, bits := range sum.retFrom {
+		f.RetFrom[i] = uint64(bits)
+	}
+	if len(sum.paramSink) > 0 {
+		f.ParamSink = make(map[int]string, len(sum.paramSink))
+		for k, v := range sum.paramSink {
+			f.ParamSink[k] = v
+		}
+	}
+	return f
 }
 
 // htScope is the per-function evaluation state.
@@ -496,6 +536,16 @@ func (sc *htScope) checkerGuard(st *ast.IfStmt) {
 	}
 	hf2, args := resolveCall(sc.info(), sc.st.fns, call)
 	if hf2 == nil {
+		// Out-of-package validator: credit the checked slots its
+		// imported fact declares.
+		fn, fargs := resolveCallee(sc.info(), call)
+		if f := sc.st.pass.ImportedTaint(fn); f != nil {
+			for i, arg := range fargs {
+				if paramBits(f.ParamChecked)&paramBit(i) != 0 {
+					sc.markValidated(arg, span{from: st.Cond.End(), until: token.NoPos})
+				}
+			}
+		}
 		return
 	}
 	sum2 := sc.st.sums[hf2]
@@ -670,6 +720,7 @@ func (sc *htScope) callStmt(call *ast.CallExpr) {
 	}
 	hf2, args := resolveCall(info, sc.st.fns, call)
 	if hf2 == nil {
+		sc.importedCallSinks(call)
 		return
 	}
 	sum2 := sc.st.sums[hf2]
@@ -696,6 +747,56 @@ func (sc *htScope) callStmt(call *ast.CallExpr) {
 				viaClause(t), paramName(hf2, pi), hf2.obj.Name(), desc)
 		}
 	}
+}
+
+// importedCallSinks applies an imported TaintFact's ParamSink entries to
+// one out-of-package call: a host-controlled argument flowing into a
+// parameter the dependency's own analysis proved reaches a sink.
+func (sc *htScope) importedCallSinks(call *ast.CallExpr) {
+	fn, args := resolveCallee(sc.info(), call)
+	f := sc.st.pass.ImportedTaint(fn)
+	if f == nil || f.Sanitized || len(f.ParamSink) == 0 {
+		return
+	}
+	for i, arg := range args {
+		desc, ok := f.ParamSink[i]
+		if !ok {
+			continue
+		}
+		t := sc.eval(arg, arg.Pos())
+		if t.params != 0 {
+			sc.recordParamSink(t.params, "hands it to "+fn.Name()+", which "+desc)
+		}
+		if sc.st.report && t.concrete() {
+			sc.st.pass.Reportf(arg.Pos(),
+				"host-controlled value%s passed to parameter %q of %s, which %s without revalidation; "+
+					"validate or mask it before the call (hosttaint)",
+				viaClause(t), importedParamName(fn, i), fn.Name(), desc)
+		}
+	}
+}
+
+// importedParamName names parameter slot i (receiver = slot 0) of an
+// out-of-package function, for diagnostics.
+func importedParamName(fn *types.Func, i int) string {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		j := i
+		if sig.Recv() != nil {
+			if j == 0 {
+				if n := sig.Recv().Name(); n != "" && n != "_" {
+					return n
+				}
+				return fmt.Sprintf("#%d", i)
+			}
+			j--
+		}
+		if j >= 0 && j < sig.Params().Len() {
+			if n := sig.Params().At(j).Name(); n != "" && n != "_" {
+				return n
+			}
+		}
+	}
+	return fmt.Sprintf("#%d", i)
 }
 
 func paramName(hf *htFunc, i int) string {
@@ -829,7 +930,7 @@ func (sc *htScope) evalCall(call *ast.CallExpr, pos token.Pos) []tval {
 	}
 	hf2, args := resolveCall(info, sc.st.fns, call)
 	if hf2 == nil {
-		return one(tval{}) // unknown callee: conservative-clean
+		return sc.evalImportedCall(call, pos)
 	}
 	sum2 := sc.st.sums[hf2]
 	if sum2 == nil || sum2.sanitizedFn {
@@ -855,6 +956,51 @@ func (sc *htScope) evalCall(call *ast.CallExpr, pos token.Pos) []tval {
 				out[r].inter = true
 				if out[r].via == "" {
 					out[r].via = hf2.obj.Name()
+				}
+			}
+			out[r].params |= at.params
+		}
+	}
+	return out
+}
+
+// evalImportedCall is evalCall's out-of-package branch: the callee has no
+// local summary, so consult the imported TaintFact of its origin. With no
+// fact (or no fact store), the call is conservative-clean — the pre-fact
+// behavior.
+func (sc *htScope) evalImportedCall(call *ast.CallExpr, pos token.Pos) []tval {
+	one := func(t tval) []tval { return []tval{t} }
+	fn, args := resolveCallee(sc.info(), call)
+	f := sc.st.pass.ImportedTaint(fn)
+	if f == nil || f.Sanitized {
+		return one(tval{})
+	}
+	n := len(f.RetTainted)
+	if len(f.RetFrom) > n {
+		n = len(f.RetFrom)
+	}
+	if n == 0 {
+		return one(tval{})
+	}
+	out := make([]tval, n)
+	for r := 0; r < n; r++ {
+		if r < len(f.RetTainted) && f.RetTainted[r] {
+			out[r].inter = true
+			out[r].via = fn.Name()
+		}
+		var bits paramBits
+		if r < len(f.RetFrom) {
+			bits = paramBits(f.RetFrom[r])
+		}
+		for i := 0; i < len(args) && i < maxTrackedParams; i++ {
+			if bits&paramBit(i) == 0 {
+				continue
+			}
+			at := sc.eval(args[i], pos)
+			if at.concrete() {
+				out[r].inter = true
+				if out[r].via == "" {
+					out[r].via = fn.Name()
 				}
 			}
 			out[r].params |= at.params

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -43,6 +44,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -57,7 +59,7 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Imports,Export,Standard,DepOnly"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -111,7 +113,7 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
 		}
-		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info})
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info, Imports: t.Imports})
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
@@ -210,5 +212,25 @@ func LoadTestdata(srcRoot, pkgPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info}, nil
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info, Imports: fileImports(files)}, nil
+}
+
+// fileImports collects the distinct import paths of a parsed package, so
+// testdata corpora get the same dependency metadata `go list` provides
+// for real packages.
+func fileImports(files []*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

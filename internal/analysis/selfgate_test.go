@@ -31,11 +31,14 @@ func TestModuleIsCiovetClean(t *testing.T) {
 	}
 	suite := analysis.Suite()
 	var entries []analysis.BaselineEntry
-	for _, pkg := range pkgs {
-		res, err := analysis.Run(pkg, suite)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.Path, err)
-		}
+	// RunModule, exactly as cmd/ciovet drives it: dependency-ordered with
+	// cross-package facts, so the gate sees the same findings the CLI does.
+	results, _, err := analysis.RunModule(pkgs, suite, 4)
+	if err != nil {
+		t.Fatalf("analyzing module: %v", err)
+	}
+	for _, pr := range results {
+		pkg, res := pr.Pkg, pr.Res
 		for _, d := range res.Diagnostics {
 			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
 		}

@@ -1,0 +1,44 @@
+// Package lockdep imports lockfacts and exercises the fact-driven half
+// of lockdisc: every contract here (//ciovet:locked, self-locking,
+// lock order) lives in the dependency and is visible only through its
+// exported LockFacts — a single-package analysis would stay silent.
+package lockdep
+
+import "lockfacts"
+
+var shared = &lockfacts.Port{}
+
+func getPort() *lockfacts.Port { return shared }
+
+func badCall() {
+	p := getPort()
+	p.PushLocked(1) // want `call to PushLocked requires holding lockfacts\.Port\.Mu`
+}
+
+func goodCall() {
+	p := getPort()
+	p.Mu.Lock()
+	p.PushLocked(2)
+	p.Mu.Unlock()
+}
+
+func badNested() {
+	p := getPort()
+	p.Mu.Lock()
+	p.SelfPush(3) // want `SelfPush acquires lockfacts\.Port\.Mu, which is already held`
+	p.Mu.Unlock()
+}
+
+func goodNested() {
+	p := getPort()
+	p.SelfPush(4)
+}
+
+// badInversion acquires Aux.Mu before Port.Mu, inverting the PairAB
+// order recorded in the dependency's exported edges.
+func badInversion(p *lockfacts.Port, a *lockfacts.Aux) {
+	a.Mu.Lock()
+	p.Mu.Lock() // want `lock-order inversion: lockfacts\.Aux\.Mu and lockfacts\.Port\.Mu`
+	p.Mu.Unlock()
+	a.Mu.Unlock()
+}

@@ -1,0 +1,379 @@
+// Package lockdisc is the corpus for the lock-discipline analyzer: the
+// not-self-locking engine contract (//ciovet:locked), guarded fields
+// (//ciovet:guards), structural Lock/Unlock tracking, double acquires,
+// interprocedural requires propagation, and lock-order inversions.
+package lockdisc
+
+import "sync"
+
+// Engine is the not-self-locking core: its owner serializes every call.
+type Engine struct{ n int }
+
+//ciovet:locked
+func (g *Engine) Stage(v int) { g.n = v }
+
+//ciovet:locked
+func (g *Engine) Publish() { g.n++ }
+
+// Owner wraps the engine behind mu, the paper-layout endpoint shape.
+type Owner struct {
+	mu  sync.Mutex
+	eng *Engine //ciovet:guards mu
+	val int
+}
+
+//ciovet:locked
+func (o *Owner) deadLocked() { o.val = -1 }
+
+// outerLocked's own contract seeds the entry lockset, so calling
+// another locked method on the same receiver is clean.
+//
+//ciovet:locked
+func (o *Owner) outerLocked() {
+	o.deadLocked()
+}
+
+// spinLocked releases and re-takes its own contract lock mid-body (the
+// blkring spin-wait shape); the re-Lock is not a structural
+// self-acquire and the trailing locked call is covered again.
+//
+//ciovet:locked
+func (o *Owner) spinLocked() {
+	o.mu.Unlock()
+	o.mu.Lock()
+	o.eng.Stage(1)
+}
+
+// Total is self-locking: its summary records the structural acquire,
+// so lock-holding callers are flagged instead of deadlocking.
+func (o *Owner) Total() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.val
+}
+
+// WithLock is the helper-holds-lock shape: it takes the mutex itself
+// before entering the locked region.
+func (o *Owner) WithLock(v int) {
+	o.mu.Lock()
+	o.eng.Stage(v)
+	o.mu.Unlock()
+}
+
+func (o *Owner) badNested() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Total() // want `Total acquires lockdisc\.Owner\.mu, which is already held`
+}
+
+var shared = &Owner{eng: &Engine{}}
+
+func getOwner() *Owner { return shared }
+
+// NewOwner exercises the constructor exemption: the object is
+// unpublished, so locked calls without the mutex are legitimate.
+func NewOwner() *Owner {
+	o := &Owner{eng: &Engine{}}
+	o.eng.Stage(0)
+	o.deadLocked()
+	return o
+}
+
+func goodDirect() {
+	o := getOwner()
+	o.mu.Lock()
+	o.eng.Stage(1)
+	o.mu.Unlock()
+}
+
+func goodDefer() {
+	o := getOwner()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.eng.Publish()
+}
+
+func goodDeferClosure() {
+	o := getOwner()
+	o.mu.Lock()
+	defer func() { o.mu.Unlock() }()
+	o.eng.Publish()
+}
+
+func goodEarlyReturn(c bool) {
+	o := getOwner()
+	o.mu.Lock()
+	if c {
+		o.mu.Unlock()
+		return
+	}
+	o.eng.Stage(1)
+	o.mu.Unlock()
+}
+
+func goodSwitchBothArms(c bool) {
+	o := getOwner()
+	switch {
+	case c:
+		o.mu.Lock()
+	default:
+		o.mu.Lock()
+	}
+	o.eng.Stage(1)
+	o.mu.Unlock()
+}
+
+func badNoLock() {
+	o := getOwner()
+	o.eng.Stage(1) // want `call to Stage requires holding lockdisc\.Owner\.mu`
+}
+
+func badAfterUnlock() {
+	o := getOwner()
+	o.mu.Lock()
+	o.eng.Stage(1)
+	o.mu.Unlock()
+	o.eng.Publish() // want `call to Publish requires holding lockdisc\.Owner\.mu`
+}
+
+func badConditionalLock(c bool) {
+	o := getOwner()
+	if c {
+		o.mu.Lock()
+	}
+	o.eng.Publish() // want `call to Publish requires holding lockdisc\.Owner\.mu`
+	if c {
+		o.mu.Unlock()
+	}
+}
+
+// badSwitchArm locks on one switch arm only: may-held is not held, and
+// because the mutex is touched on some path the obligation does not
+// propagate to callers — it is reported here.
+func badSwitchArm(o *Owner, c int) {
+	switch c {
+	case 1:
+		o.mu.Lock()
+	}
+	o.eng.Stage(1) // want `call to Stage requires holding lockdisc\.Owner\.mu`
+	if c == 1 {
+		o.mu.Unlock()
+	}
+}
+
+// wrap1/wrap2: a helper that calls a locked method on its parameter
+// inherits the obligation (two levels deep) instead of reporting.
+func wrap1(o *Owner) {
+	o.deadLocked()
+}
+
+func wrap2(o *Owner) {
+	wrap1(o)
+}
+
+func badPropagated() {
+	o := getOwner()
+	wrap2(o) // want `call to wrap2 requires holding lockdisc\.Owner\.mu`
+}
+
+func goodPropagated() {
+	o := getOwner()
+	o.mu.Lock()
+	wrap2(o)
+	o.mu.Unlock()
+}
+
+func goodHelperHolds() {
+	o := getOwner()
+	o.WithLock(3)
+}
+
+func badHelperHeld() {
+	o := getOwner()
+	o.mu.Lock()
+	o.WithLock(4) // want `WithLock acquires lockdisc\.Owner\.mu, which is already held`
+	o.mu.Unlock()
+}
+
+func badDoubleAcquire() {
+	o := getOwner()
+	o.mu.Lock()
+	o.mu.Lock() // want `double acquire of lockdisc\.Owner\.mu`
+	o.mu.Unlock()
+}
+
+func badConditionalUnlockRelock(c bool) {
+	o := getOwner()
+	o.mu.Lock()
+	if c {
+		o.mu.Unlock()
+	}
+	o.mu.Lock() // want `double acquire of lockdisc\.Owner\.mu: may already be held`
+	o.mu.Unlock()
+}
+
+func badLoopRelock(n int) {
+	o := getOwner()
+	o.mu.Lock()
+	for i := 0; i < n; i++ {
+		o.mu.Lock() // want `double acquire of lockdisc\.Owner\.mu`
+		o.mu.Unlock()
+	}
+	o.mu.Unlock()
+}
+
+// Multi's range loop rebinds q each iteration: locking every element is
+// not a double acquire.
+type Multi struct {
+	queues []*Owner
+}
+
+func (m *Multi) lockAll() {
+	for _, q := range m.queues {
+		q.mu.Lock()
+	}
+	for _, q := range m.queues {
+		q.mu.Unlock()
+	}
+}
+
+// goodRebind: assignment rebinds o, so the second Lock targets a
+// different object.
+func goodRebind(p *Owner) {
+	o := getOwner()
+	o.mu.Lock()
+	o = p
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+var initMu sync.Mutex
+
+func badGlobalDouble() {
+	initMu.Lock()
+	initMu.Lock() // want `double acquire of initMu`
+	initMu.Unlock()
+}
+
+// A and B exist only to be acquired in both orders.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func orderAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order inversion: lockdisc\.A\.mu and lockdisc\.B\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func orderBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Rec uses a non-default mutex field name in the annotation.
+type Rec struct {
+	recMu sync.Mutex
+	items []int
+}
+
+var sharedRec = &Rec{}
+
+func getRec() *Rec { return sharedRec }
+
+//ciovet:locked recMu
+func (r *Rec) appendLocked(v int) {
+	r.items = append(r.items, v)
+}
+
+func badRec() {
+	r := getRec()
+	r.appendLocked(1) // want `call to appendLocked requires holding lockdisc\.Rec\.recMu`
+}
+
+func goodRec() {
+	r := getRec()
+	r.recMu.Lock()
+	r.appendLocked(2)
+	r.recMu.Unlock()
+}
+
+// Wrap guards its engine with a non-default mutex name: calls through
+// the guarded field resolve to the owner's recMu.
+type Wrap struct {
+	recMu sync.Mutex
+	rec   *Engine //ciovet:guards recMu
+}
+
+var sharedWrap = &Wrap{rec: &Engine{}}
+
+func getWrap() *Wrap { return sharedWrap }
+
+func badWrapGuards() {
+	w := getWrap()
+	w.rec.Stage(1) // want `call to Stage requires holding lockdisc\.Wrap\.recMu`
+}
+
+func goodWrapGuards() {
+	w := getWrap()
+	w.recMu.Lock()
+	w.rec.Stage(2)
+	w.recMu.Unlock()
+}
+
+// Inner carries its own mutex. Calling its self-locking method while a
+// WRAPPER's lock is held must not be reported: o.in.mu and o.mu are
+// different locks even though both fields are named mu. The owner chain
+// keeps its full field path precisely so these do not alias.
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump is self-locking.
+func (in *Inner) Bump() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n++
+}
+
+// bumpLocked asserts the caller holds in.mu.
+//
+//ciovet:locked
+func (in *Inner) bumpLocked() {
+	in.n++
+}
+
+// Outer wraps an Inner but does NOT guard it: the inner object locks
+// for itself.
+type Outer struct {
+	mu sync.Mutex
+	in *Inner
+}
+
+func goodDistinctInner(o *Outer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.Bump() // inner's own mutex, not o.mu: no self-deadlock
+}
+
+func badInnerPath(o *Outer) {
+	o.in.mu.Lock()
+	defer o.in.mu.Unlock()
+	o.in.Bump() // want `Bump acquires lockdisc\.Inner\.mu, which is already held`
+}
+
+func badInnerLockedCall(o *Outer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.bumpLocked() // want `call to bumpLocked requires holding lockdisc\.Inner\.mu`
+}
+
+func goodInnerLockedCall(o *Outer) {
+	o.in.mu.Lock()
+	defer o.in.mu.Unlock()
+	o.in.bumpLocked()
+}

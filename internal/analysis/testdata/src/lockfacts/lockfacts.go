@@ -1,0 +1,38 @@
+// Package lockfacts is the dependency side of the cross-package
+// lock-discipline fixture: it declares the locking contracts (a
+// //ciovet:locked method, a self-locking helper, a lock-order edge)
+// that the lockdep package can only see through exported LockFacts.
+// Analyzed on its own it is clean.
+package lockfacts
+
+import "sync"
+
+// Port's callers serialize with Mu — exported so dependents can
+// participate in the locking contract.
+type Port struct {
+	Mu sync.Mutex
+	n  int
+}
+
+//ciovet:locked Mu
+func (p *Port) PushLocked(v int) { p.n = v }
+
+// SelfPush takes the mutex itself: its fact records the structural
+// acquire, so lock-holding callers in other packages are flagged.
+func (p *Port) SelfPush(v int) {
+	p.Mu.Lock()
+	p.n = v
+	p.Mu.Unlock()
+}
+
+// Aux exists to pin the module lock order against Port.
+type Aux struct{ Mu sync.Mutex }
+
+// PairAB establishes the order Port.Mu before Aux.Mu; the edge is
+// exported for downstream inversion detection.
+func PairAB(p *Port, a *Aux) {
+	p.Mu.Lock()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+	p.Mu.Unlock()
+}

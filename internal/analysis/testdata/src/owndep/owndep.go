@@ -1,0 +1,44 @@
+// Package owndep imports ownfacts and exercises bufown's fact-driven
+// ownership transitions: a dependency that frees the caller's handle
+// (use-after-free and double-free only the imported Consumes fact can
+// see) and a dependency constructor whose owned result must be settled.
+package owndep
+
+import (
+	"ownfacts"
+	"shmem"
+)
+
+func badUseAfterFree(a *shmem.Arena) {
+	h, err := a.Alloc()
+	if err != nil {
+		return
+	}
+	ownfacts.FreeHandle(a, h)
+	_ = a.Write(h, nil) // want `use of h \(shmem\.Handle\) after it was released`
+}
+
+func badDoubleFree(a *shmem.Arena) {
+	h, err := a.Alloc()
+	if err != nil {
+		return
+	}
+	ownfacts.FreeHandle(a, h)
+	ownfacts.FreeHandle(a, h) // want `double release of h \(shmem\.Handle\)`
+}
+
+func badLeakFromDep(a *shmem.Arena) {
+	h, err := ownfacts.Lease(a)
+	if err != nil {
+		return
+	}
+	_ = h
+} // want `h \(shmem\.Handle\) leaks on this path`
+
+func goodSettled(a *shmem.Arena) {
+	h, err := ownfacts.Lease(a)
+	if err != nil {
+		return
+	}
+	ownfacts.FreeHandle(a, h)
+}

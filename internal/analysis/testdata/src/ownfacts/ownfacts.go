@@ -1,0 +1,23 @@
+// Package ownfacts is the dependency side of the cross-package
+// ownership fixture: a helper that consumes its handle argument and a
+// constructor that returns a fresh owned handle, both exported as
+// OwnFacts for the owndep package. Analyzed on its own it is clean.
+package ownfacts
+
+import "shmem"
+
+// FreeHandle releases the caller's handle: the fact records that
+// parameter slot 1 is consumed.
+func FreeHandle(a *shmem.Arena, h shmem.Handle) {
+	_ = a.HandleFree(shmem.FreeMsg{H: h})
+}
+
+// Lease allocates and hands the fresh owned handle to the caller: the
+// fact records RetOwned for result 0.
+func Lease(a *shmem.Arena) (shmem.Handle, error) {
+	h, err := a.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	return h, nil
+}

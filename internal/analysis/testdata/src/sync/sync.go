@@ -1,0 +1,20 @@
+// Package sync is a corpus stub of the standard library's mutexes:
+// just enough surface for lockdisc's structural recognition (the
+// analyzer matches the sync.Mutex/RWMutex types and their
+// Lock/Unlock-family methods, not the real implementation).
+package sync
+
+// Mutex is the stub of sync.Mutex.
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()         { m.state = 1 }
+func (m *Mutex) Unlock()       { m.state = 0 }
+func (m *Mutex) TryLock() bool { return true }
+
+// RWMutex is the stub of sync.RWMutex.
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    { m.state = 1 }
+func (m *RWMutex) Unlock()  { m.state = 0 }
+func (m *RWMutex) RLock()   { m.state = 2 }
+func (m *RWMutex) RUnlock() { m.state = 0 }

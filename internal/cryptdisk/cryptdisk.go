@@ -223,6 +223,8 @@ func (c *CryptDisk) keystream(data []byte, lba, version uint64) {
 
 // verifyPathLocked checks a leaf against the TEE root using the
 // (untrusted) sibling nodes, and returns the siblings for reuse.
+//
+//ciovet:locked
 func (c *CryptDisk) verifyPathLocked(lba uint64, leaf [32]byte) error {
 	c.meta.mu.Lock()
 	defer c.meta.mu.Unlock()
@@ -244,6 +246,8 @@ func (c *CryptDisk) verifyPathLocked(lba uint64, leaf [32]byte) error {
 // updatePathLocked installs a new leaf and recomputes the root, after
 // verifying the old path (so a tampered tree cannot launder itself into
 // a new root).
+//
+//ciovet:locked
 func (c *CryptDisk) updatePathLocked(lba uint64, newLeaf [32]byte) {
 	c.meta.mu.Lock()
 	defer c.meta.mu.Unlock()
@@ -256,6 +260,8 @@ func (c *CryptDisk) updatePathLocked(lba uint64, newLeaf [32]byte) {
 
 // finishReadLocked verifies and decrypts one freshly read ciphertext
 // sector in place. Caller holds c.mu and has bounds-checked lba.
+//
+//ciovet:locked
 func (c *CryptDisk) finishReadLocked(lba uint64, buf []byte) error {
 	version := c.meta.Version(lba)
 	leaf := c.leafHash(buf, lba, version)

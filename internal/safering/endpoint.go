@@ -58,12 +58,12 @@ type Endpoint struct {
 	// monotonic index validation all live there (see engine.go). The
 	// slab handles staged per slot stay here — what a returned slot
 	// means is this endpoint's business, expressed via txReturn.
-	tx        *Engine[Desc]
+	tx        *Engine[Desc] //ciovet:guards mu
 	txHandles [][]shmem.Handle
 
 	// rxFree is the producer engine for the RXFree ring (posting empty
 	// receive slabs to the host); nil in Inline mode.
-	rxFree *Engine[Desc]
+	rxFree *Engine[Desc] //ciovet:guards mu
 
 	// RX private state.
 	rxTail   uint64
@@ -164,6 +164,8 @@ func (e *Endpoint) fail(err error) error {
 
 // adoptLocked records cause as this queue's death and builds the cached
 // dead-operation error. Caller holds e.mu.
+//
+//ciovet:locked
 func (e *Endpoint) adoptLocked(cause error) {
 	e.dead = cause
 	e.deadOp = fmt.Errorf("%w (cause: %w)", ErrDead, cause)
@@ -171,6 +173,8 @@ func (e *Endpoint) adoptLocked(cause error) {
 
 // deadLocked reports whether the endpoint (or, through the device latch,
 // any sibling queue) has fail-deaded. Caller holds e.mu.
+//
+//ciovet:locked
 func (e *Endpoint) deadLocked() bool {
 	if e.dead != nil {
 		return true
@@ -186,6 +190,8 @@ func (e *Endpoint) deadLocked() bool {
 
 // deadOpLocked returns the error dead operations report. Caller holds
 // e.mu and has established deadLocked().
+//
+//ciovet:locked
 func (e *Endpoint) deadOpLocked() error {
 	if e.deadOp == nil {
 		e.deadOp = ErrDead
@@ -282,6 +288,8 @@ func (e *Endpoint) SendBatch(frames [][]byte) (int, error) {
 // stageTXLocked stages one size-checked frame into the slot at the TX
 // engine's head. It does not publish: callers amortize the index store
 // and doorbell over a batch via the engine's Publish.
+//
+//ciovet:locked
 func (e *Endpoint) stageTXLocked(frame []byte) error {
 	head := e.tx.Head()
 	var d Desc
@@ -326,6 +334,8 @@ func (e *Endpoint) stageTXLocked(frame []byte) error {
 
 // stageIndirectLocked splits the frame into data-area segments and fills
 // the indirect table entry for the current head slot.
+//
+//ciovet:locked
 func (e *Endpoint) stageIndirectLocked(frame []byte) (Desc, error) {
 	segCap := e.sh.TXData.SlabSize()
 	nseg := (len(frame) + segCap - 1) / segCap
@@ -451,6 +461,8 @@ func (f *RxFrame) Release() {
 // newFrameLocked hands out a recycled (or fresh) RxFrame header with the
 // given contents. The released flag is re-armed here, before the frame
 // becomes visible to the caller.
+//
+//ciovet:locked
 func (e *Endpoint) newFrameLocked(data []byte, pooled *[]byte, slab int) *RxFrame {
 	f := e.framePool.Get().(*RxFrame)
 	f.ep = e
@@ -464,7 +476,14 @@ func (e *Endpoint) newFrameLocked(data []byte, pooled *[]byte, slab int) *RxFram
 
 // stageSlabLocked records one empty receive slab in the free ring without
 // publishing it; publishFreeLocked makes the staged set visible with one
-// index store.
+// index store. Audited sanitized: every slab number reaching here was
+// either generated by the guest (the initial posting loop) or masked
+// with Slots-1 AND checked against slabHeld in recvSlotLocked before the
+// RxFrame carrying it was handed out — the cross-package taint fact on
+// RxFrame is coarser than the value it tracks.
+//
+//ciovet:locked
+//ciovet:sanitized
 func (e *Endpoint) stageSlabLocked(slab int) {
 	e.slabHeld[slab] = true
 	e.rxFree.Stage(Desc{Len: platform.PageSize, Kind: KindWord(KindShared, e.sh.Epoch), Ref: uint64(slab)})
@@ -473,6 +492,8 @@ func (e *Endpoint) stageSlabLocked(slab int) {
 // publishFreeLocked publishes every staged-but-unpublished receive slab
 // (a no-op inside the engine when nothing new was staged; no free ring
 // exists in Inline mode).
+//
+//ciovet:locked
 func (e *Endpoint) publishFreeLocked() {
 	if e.rxFree != nil {
 		e.rxFree.Publish()
@@ -488,6 +509,8 @@ func (e *Endpoint) postSlab(slab int) {
 
 // rxAvailLocked loads and validates the host's RXUsed producer index,
 // returning how many completed frames wait past rxTail.
+//
+//ciovet:locked
 func (e *Endpoint) rxAvailLocked() (uint64, error) {
 	prod := e.sh.RXUsed.Indexes().LoadProd()
 	e.meter.Check(1)
@@ -501,6 +524,8 @@ func (e *Endpoint) rxAvailLocked() (uint64, error) {
 // publishRXLocked publishes the consumer index for every frame consumed
 // since the last publication, plus any receive slabs staged for
 // reposting — one index store each, however many frames the batch moved.
+//
+//ciovet:locked
 func (e *Endpoint) publishRXLocked() {
 	e.sh.RXUsed.Indexes().StoreCons(e.rxTail)
 	e.meter.Publish(1)
@@ -512,6 +537,8 @@ func (e *Endpoint) publishRXLocked() {
 // guest custody per the configured policy. The descriptor is snapshotted
 // exactly once. The private tail advances but nothing is published;
 // callers amortize the consumer-index store via publishRXLocked.
+//
+//ciovet:locked
 func (e *Endpoint) recvSlotLocked() (*RxFrame, error) {
 	d := e.sh.RXUsed.ReadDesc(e.rxTail) // single snapshot
 	e.meter.Check(1)

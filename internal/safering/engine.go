@@ -101,6 +101,8 @@ func (g *Engine[D]) SetEventIdx(on bool) { g.eventIdx = on }
 // Head returns the private producer head (staged, not necessarily
 // published). The watchdog compares it against the shared consumer
 // index — equality only, so no trust in the shared value is needed.
+//
+//ciovet:locked
 func (g *Engine[D]) Head() uint64 { return g.head }
 
 // ConsSeen returns the last validated peer consumer index.
@@ -113,6 +115,8 @@ func (g *Engine[D]) InFlight() uint64 { return g.head - g.freed }
 // consumer position cons — the backpressure check a producer must make
 // before staging, or it laps the consumer and overwrites a slot the
 // peer still owns.
+//
+//ciovet:locked
 func (g *Engine[D]) Full(cons uint64) bool {
 	return g.head-cons >= g.ring.NSlots()
 }
@@ -121,6 +125,8 @@ func (g *Engine[D]) Full(cons uint64) bool {
 // OnReturn for every slot whose ownership came back, in order. Exactly
 // one validation check is metered per index load, however many slots
 // returned. It returns the validated consumer index.
+//
+//ciovet:locked
 func (g *Engine[D]) Reap() (uint64, error) {
 	cons := g.ring.Indexes().LoadCons()
 	g.meter.Check(1)
@@ -147,6 +153,8 @@ func (g *Engine[D]) Reap() (uint64, error) {
 // check — so completion-poll loops cost one validation per *validated
 // load* instead of one per spin, however slow the host is. It returns
 // the validated consumer index and whether a reap ran.
+//
+//ciovet:locked
 func (g *Engine[D]) ReapIfMoved() (uint64, bool, error) {
 	if g.ring.Indexes().LoadCons() == g.consSeen {
 		return g.consSeen, false, nil
@@ -160,6 +168,8 @@ func (g *Engine[D]) ReapIfMoved() (uint64, bool, error) {
 // amortize the index store and doorbell over a batch via Publish. The
 // caller must have established room via Full — Stage itself never
 // consults shared memory.
+//
+//ciovet:locked
 func (g *Engine[D]) Stage(d D) {
 	g.codec.Encode(g.ring, g.head, d)
 	g.inflight[g.head&(g.ring.NSlots()-1)] = d
@@ -180,6 +190,8 @@ func (g *Engine[D]) Stage(d D) {
 // and nothing else, so garbage there shifts wake timing (recovered by
 // the peer's bounded-sleep ladder and, ultimately, the watchdog) but
 // can never corrupt state.
+//
+//ciovet:locked
 func (g *Engine[D]) Publish() {
 	if g.pub == g.head {
 		return
@@ -202,6 +214,8 @@ func (g *Engine[D]) Publish() {
 // reincarnation, zeroing all private protocol state. Payloads still
 // parked for the old incarnation are dropped: their slots belonged to
 // the poisoned window and whatever they referenced vanishes with it.
+//
+//ciovet:locked
 func (g *Engine[D]) Reset(ring *Ring, bell *Doorbell) {
 	g.ring, g.bell = ring, bell
 	g.head, g.pub, g.consSeen, g.freed = 0, 0, 0, 0

@@ -65,6 +65,8 @@ func (h *HostPort) fail(err error) error {
 
 // deadLocked reports whether the port (or, through the device latch, any
 // sibling queue's port) has been poisoned. Caller holds h.mu.
+//
+//ciovet:locked
 func (h *HostPort) deadLocked() bool {
 	if h.dead != nil {
 		return true
@@ -285,6 +287,8 @@ func (h *HostPort) PushBatch(frames [][]byte) (int, error) {
 // stagePushLocked stages one frame at rxHead and advances the private
 // head without publishing; publishPushLocked makes the staged burst
 // visible with one index store and at most one doorbell ring.
+//
+//ciovet:locked
 func (h *HostPort) stagePushLocked(frame []byte) error {
 	if h.sh.Cfg.Mode == Inline {
 		h.sh.RXUsed.WriteInline(h.rxHead, frame)
@@ -306,6 +310,7 @@ func (h *HostPort) stagePushLocked(frame []byte) error {
 	return nil
 }
 
+//ciovet:locked
 func (h *HostPort) publishPushLocked() {
 	old := h.rxPub
 	h.sh.RXUsed.Indexes().StoreProd(h.rxHead)
